@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark wraps one experiment driver from
+:mod:`repro.experiments`.  A single session-scoped :class:`Runner` is
+shared so drivers reuse each other's baseline simulations, and all
+results are cached on disk in ``.repro-cache/`` — the first invocation
+computes (minutes), every later one replays (seconds).
+
+Benchmarks *assert shape*, not absolute numbers: who wins, roughly by
+how much, and where the effects vanish — the reproduction contract
+stated in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSettings, Runner
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    return Runner(ExperimentSettings.from_env())
+
+
+def run_once(benchmark, func):
+    """Run an experiment driver exactly once under pytest-benchmark.
+
+    Simulation drivers are far too slow (and deterministic + cached)
+    for statistical repetition, so a single timed round is recorded.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

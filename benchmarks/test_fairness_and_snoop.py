@@ -1,0 +1,60 @@
+"""Benchmarks: footnote 5 (fairness metrics) and the snoop-cost study.
+
+Footnote 5: "Since the TLA policies do not introduce any fairness
+issues, they perform similar to the throughput metric for both
+weighted speedup and hmean-fairness metrics."
+
+Snoop study (Sections I-II motivation): inclusion's snoop filter means
+LLC misses never probe the cores; a non-inclusive hierarchy must probe
+every core on every miss.  QBS performs like non-inclusion while
+keeping the probe count at zero.
+"""
+
+from repro.experiments import fairness_study, snoop_study
+
+from .conftest import run_once
+
+
+def test_fairness_metrics_agree(runner, benchmark):
+    result = run_once(benchmark, lambda: fairness_study(runner=runner))
+    print()
+    print(result["report"])
+    aggregate = result["aggregate"]
+
+    # QBS helps under every metric...
+    assert aggregate["throughput_gain"] > 1.0
+    assert aggregate["weighted_speedup_gain"] > 1.0
+    assert aggregate["hmean_fairness_gain"] > 1.0
+
+    # ...and by a similar amount (no fairness regressions hiding in
+    # the throughput number).
+    tp = aggregate["throughput_gain"] - 1.0
+    ws = aggregate["weighted_speedup_gain"] - 1.0
+    hm = aggregate["hmean_fairness_gain"] - 1.0
+    assert abs(ws - tp) < 0.6 * max(tp, 0.01)
+    assert hm > 0.3 * tp  # fairness improves at least substantially
+
+    # Per-mix: the metrics never disagree in direction materially.
+    for name, v in result["per_mix"].items():
+        if v["throughput_gain"] > 1.03:
+            assert v["weighted_speedup_gain"] > 1.0, name
+            assert v["hmean_fairness_gain"] > 0.99, name
+
+
+def test_snoop_cost_quantified(runner, benchmark):
+    result = run_once(benchmark, lambda: snoop_study(runner=runner))
+    print()
+    print(result["report"])
+    totals = result["totals"]
+
+    # Non-inclusion pays a real probe stream (every miss probes every
+    # core)...
+    assert totals["non_inclusive_probes"] > 0
+    probes_pki = (
+        1000.0 * totals["non_inclusive_probes"] / totals["instructions"]
+    )
+    assert probes_pki > 1.0
+
+    # ...while the messages QBS adds to keep the filter are of the
+    # same order, i.e. QBS does not smuggle the probe cost back in.
+    assert totals["qbs_extra_messages"] < 5 * totals["non_inclusive_probes"]

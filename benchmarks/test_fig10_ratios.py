@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 10 (scalability across cache ratios).
+
+Paper shape: tighter core-cache:LLC ratios need better LLC management
+— the non-inclusive/exclusive advantage and the TLA recoveries all
+grow as the LLC shrinks; QBS tracks non-inclusion at every ratio; at
+1:2 TLH-L1 lags QBS (L2-resident locality matters there) and
+TLH-L1-L2 recovers the difference.
+"""
+
+from repro.experiments import figure10
+
+from .conftest import run_once
+
+
+def test_fig10_ratios(runner, benchmark):
+    result = run_once(benchmark, lambda: figure10(runner=runner))
+    print()
+    print(result["report"])
+    series = result["series"]
+
+    # QBS tracks non-inclusion at every ratio.
+    for ratio in result["ratios"]:
+        assert series["qbs"][ratio] > series["non_inclusive"][ratio] - 0.02, ratio
+
+    # Gains shrink as the LLC grows.
+    assert series["qbs"]["1:2"] > series["qbs"]["1:16"] - 0.01
+    assert series["non_inclusive"]["1:2"] > series["non_inclusive"]["1:16"] - 0.01
+
+    # The tight ratio shows a substantial inclusion penalty.
+    assert series["non_inclusive"]["1:2"] > 1.03
+
+    # TLH-L1-L2 recovers whatever TLH-L1 leaves at the tight ratio.
+    assert series["tlh-l1-l2"]["1:2"] >= series["tlh-l1"]["1:2"] - 0.01
+
+    # ECI sits between baseline and QBS at the tight ratio.
+    assert 1.0 - 0.01 <= series["eci"]["1:2"] <= series["qbs"]["1:2"] + 0.02

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 11 (scalability with core count).
+
+Paper shape: QBS keeps tracking non-inclusion on 4- and 8-core CMPs
+(100 random mixes each in the paper; a smaller deterministic sample
+here unless REPRO_FULL=1), and addressing inclusion victims does not
+become less important as contention grows with core count.
+"""
+
+from repro.experiments import figure11
+
+from .conftest import run_once
+
+
+def test_fig11_core_scaling(runner, benchmark):
+    result = run_once(benchmark, lambda: figure11(runner=runner))
+    print()
+    print(result["report"])
+    series = result["series"]
+
+    for cores in (2, 4, 8):
+        row = series[cores]
+        # A real gap exists at every core count...
+        assert row["non_inclusive"] > 1.0, cores
+        # ...QBS tracks non-inclusion...
+        assert row["qbs"] > row["non_inclusive"] - 0.02, cores
+        # ...and ECI helps but does not beat QBS materially.
+        assert row["eci"] <= row["qbs"] + 0.02, cores
+
+    # The inclusion problem persists (does not collapse) as the chip
+    # scales from 2 to 8 cores sharing a proportionally larger LLC.
+    assert series[8]["non_inclusive"] > 1.005

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 2 (hierarchy comparison across ratios).
+
+Paper shape: non-inclusive and exclusive LLCs beat inclusive ones, by
+~8 % on average at a 1:4 ratio and ~3 % at 1:8, with the gap
+essentially gone by 1:16 and exclusive >= non-inclusive throughout.
+"""
+
+from repro.experiments import figure2
+
+from .conftest import run_once
+
+
+def test_fig2_hierarchies(runner, benchmark):
+    result = run_once(benchmark, lambda: figure2(runner=runner))
+    print()
+    print(result["report"])
+    ni = result["series"]["non_inclusive"]
+    ex = result["series"]["exclusive"]
+
+    # Alternatives never lose to inclusion (beyond noise).
+    for ratio in result["ratios"]:
+        assert ni[ratio] > 0.99, ratio
+        assert ex[ratio] > 0.99, ratio
+
+    # The gap grows as the LLC shrinks: 1:2 >= 1:8 for both.
+    assert ni["1:2"] > ni["1:8"] - 0.01
+    assert ex["1:2"] > ex["1:8"] - 0.01
+
+    # Small-LLC configurations show a clearly material gap...
+    assert ni["1:2"] > 1.03
+    # ...which has largely converged by 1:16.
+    assert ni["1:16"] < ni["1:2"]
+    assert ni["1:16"] < 1.05
+
+    # Exclusive's extra capacity keeps it at or above non-inclusive
+    # at the tight ratios.
+    assert ex["1:2"] > ni["1:2"] - 0.02

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 3 (the worked inclusion-victim example).
+
+The paper's Section III narrative, executed on the real controllers:
+line 'a' is hot in a 2-entry L1 but decays to LRU in the 4-entry
+inclusive LLC, so the baseline victimises it once per round trip; TLH
+and QBS prevent every victim at identical LLC miss counts, and ECI
+trades core-cache hits for LLC hits (more L1 misses, same LLC misses,
+zero victims).
+"""
+
+from repro.experiments import figure3
+
+from .conftest import run_once
+
+
+def test_fig3_walkthrough(benchmark):
+    result = run_once(benchmark, lambda: figure3(length=200))
+    print()
+    print(result["report"])
+    r = result["results"]
+
+    # The baseline victimises the hot line repeatedly.
+    assert r["baseline"]["inclusion_victims"] > 10
+    assert r["baseline"]["llc_misses"] > r["tlh"]["llc_misses"]
+
+    # TLH and QBS eliminate every inclusion victim...
+    assert r["tlh"]["inclusion_victims"] == 0
+    assert r["qbs"]["inclusion_victims"] == 0
+    # ...with identical LLC miss counts (only the stream misses).
+    assert r["tlh"]["llc_misses"] == r["qbs"]["llc_misses"]
+
+    # ECI also eliminates victims but pays with extra L1 misses (the
+    # early invalidations) that become LLC hits, not memory misses.
+    assert r["eci"]["inclusion_victims"] == 0
+    assert r["eci"]["l1d_misses"] > r["qbs"]["l1d_misses"]
+    assert r["eci"]["llc_misses"] == r["qbs"]["llc_misses"]

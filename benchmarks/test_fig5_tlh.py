@@ -1,0 +1,53 @@
+"""Benchmark: regenerate Figure 5 (Temporal Locality Hints).
+
+Paper shape: TLH-IL1 and TLH-DL1 are roughly additive into TLH-L1;
+TLH-L1 bridges most of the inclusive->non-inclusive gap while TLH-L2
+bridges less; homogeneous CCF mixes (MIX_01, MIX_03) and LLCT/LLCF
+mixes (MIX_00, MIX_02, MIX_04) gain nothing; hint sampling degrades
+gracefully (20 % of hints retains most of the benefit).
+"""
+
+from repro.experiments import figure5
+
+from .conftest import run_once
+
+
+def test_fig5_tlh(runner, benchmark):
+    result = run_once(benchmark, lambda: figure5(runner=runner))
+    print()
+    print(result["report"])
+    per_mix = result["per_mix"]
+    aggregate = result["aggregate"]
+
+    gap = aggregate["non_inclusive"] - 1.0
+    assert gap > 0.005, "no inclusive/non-inclusive gap to bridge"
+
+    # TLH-L1 bridges a large share of the gap; TLH-L1-L2 at least as
+    # much; TLH-L2 alone clearly less than TLH-L1-L2.
+    bridged_l1 = (aggregate["tlh-l1"] - 1.0) / gap
+    bridged_l2 = (aggregate["tlh-l2"] - 1.0) / gap
+    bridged_l1_l2 = (aggregate["tlh-l1-l2"] - 1.0) / gap
+    assert bridged_l1 > 0.30
+    assert bridged_l1_l2 >= bridged_l1 - 0.05
+    assert bridged_l2 < bridged_l1_l2
+
+    # Mixes without CCF/LLC-pressure interaction gain nothing.
+    for flat_mix in ("MIX_01", "MIX_03"):
+        assert abs(per_mix[flat_mix]["tlh-l1"] - 1.0) < 0.02, flat_mix
+
+    # The signature mixes gain clearly (paper: 5-31 %).
+    boosted = [per_mix[m]["tlh-l1"] for m in ("MIX_09", "MIX_10")]
+    assert max(boosted) > 1.03
+
+    # IL1+DL1 are roughly additive into TLH-L1 on the showcase set.
+    for mix_name in ("MIX_10", "MIX_09"):
+        v = per_mix[mix_name]
+        additive = (v["tlh-il1"] - 1.0) + (v["tlh-dl1"] - 1.0)
+        assert v["tlh-l1"] - 1.0 > 0.5 * additive - 0.01, mix_name
+
+    # Sampling sensitivity: monotone-ish, and 20 % already bridges a
+    # good share of what full TLH-L1 does (paper: 80 %).
+    sampling = result["sampling"]
+    assert sampling["1%"] <= sampling["20%"] + 0.01
+    showcase_gap = sampling.get("20%", 1.0) - 1.0
+    assert showcase_gap > 0.0

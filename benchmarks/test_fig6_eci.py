@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 6 (Early Core Invalidation).
+
+Paper shape: ECI improves the CCF+LLCT/LLCF mixes by several percent,
+bridges roughly half of the inclusive->non-inclusive gap on average,
+and its worst-case mix loses only marginally (paper: -1.6 %).
+"""
+
+from repro.experiments import figure6
+
+from .conftest import run_once
+
+
+def test_fig6_eci(runner, benchmark):
+    result = run_once(benchmark, lambda: figure6(runner=runner))
+    print()
+    print(result["report"])
+    aggregate = result["aggregate"]
+    per_mix = result["per_mix"]
+
+    gap = aggregate["non_inclusive"] - 1.0
+    assert gap > 0.005
+
+    bridged = (aggregate["eci"] - 1.0) / gap
+    # Paper: 55 % of the gap.  Accept a broad band around it.
+    assert 0.25 < bridged < 1.1
+
+    # ECI never loses badly anywhere (worst case ~ -2 %).
+    assert min(v["eci"] for v in per_mix.values()) > 0.975
+    assert min(result["scurve"]) > 0.95
+
+    # Flat mixes stay flat.
+    assert abs(per_mix["MIX_01"]["eci"] - 1.0) < 0.02
+
+    # ECI never exceeds non-inclusion by more than noise on average.
+    assert aggregate["eci"] < aggregate["non_inclusive"] + 0.02

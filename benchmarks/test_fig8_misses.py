@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 8 (LLC miss reduction vs inclusion).
+
+Paper shape (average reductions): exclusive 18.2 % > QBS 9.6 % ~
+non-inclusive 9.3 % > TLH-L1 8.2 % > ECI 6.5 % > TLH-L2 4.8 %; QBS
+reaches very large reductions (up to 80 %) on its best mixes.  Only
+the exclusive hierarchy exploits extra capacity — QBS matching
+non-inclusion proves non-inclusion's first-order benefit is victim
+elimination, not capacity.
+"""
+
+from repro.experiments import figure8
+
+from .conftest import run_once
+
+
+def test_fig8_miss_reduction(runner, benchmark):
+    result = run_once(benchmark, lambda: figure8(runner=runner))
+    print()
+    print(result["report"])
+    aggregate = result["aggregate"]
+
+    # Everything reduces misses on average.
+    for label in ("tlh-l1", "eci", "qbs", "non_inclusive", "exclusive"):
+        assert aggregate[label] > 0.0, label
+
+    # Exclusive leads (capacity); QBS ~ non-inclusive.
+    assert aggregate["exclusive"] >= aggregate["qbs"] - 0.01
+    assert aggregate["exclusive"] >= aggregate["non_inclusive"] - 0.01
+    assert abs(aggregate["qbs"] - aggregate["non_inclusive"]) < 0.05
+
+    # ECI trails QBS (the time-window problem).
+    assert aggregate["eci"] <= aggregate["qbs"] + 0.01
+
+    # TLH-L2 trails TLH-L1 on average.
+    assert aggregate["tlh-l2"] <= aggregate["tlh-l1"] + 0.02
+
+    # QBS's best mixes show large reductions.
+    assert max(result["scurve"]) > 0.15

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 9 (summary on both baselines).
+
+Paper shape: (a) on the inclusive baseline QBS performs like a
+non-inclusive cache and exclusive is ~2.5 % ahead of non-inclusive
+(capacity); (b) on a *non-inclusive* baseline the TLA policies gain
+only 0.4-1.2 % — the proof that their benefit is inclusion-victim
+elimination and nothing else.
+"""
+
+from repro.experiments import figure9
+
+from .conftest import run_once
+
+
+def test_fig9_summary(runner, benchmark):
+    result = run_once(benchmark, lambda: figure9(runner=runner))
+    print()
+    print(result["report"])
+    on_inclusive = result["inclusive_base"]
+    on_non_inclusive = result["non_inclusive_base"]
+
+    # (a) all policies help an inclusive cache; QBS ~ non-inclusive.
+    assert on_inclusive["qbs"] > 1.005
+    assert on_inclusive["non_inclusive"] > 1.005
+    assert abs(on_inclusive["qbs"] - on_inclusive["non_inclusive"]) < 0.02
+    assert on_inclusive["eci"] > 1.0
+    assert on_inclusive["tlh-l1"] > 1.0
+    # Exclusive >= non-inclusive (extra capacity).
+    assert on_inclusive["exclusive"] > on_inclusive["non_inclusive"] - 0.015
+
+    # (b) on the non-inclusive baseline the gains vanish.
+    for policy in ("tlh-l1", "eci", "qbs"):
+        assert abs(on_non_inclusive[policy] - 1.0) < 0.03, policy
+
+    # The TLA-on-inclusive gains dwarf the TLA-on-non-inclusive ones.
+    assert (on_inclusive["qbs"] - 1.0) > 3 * abs(on_non_inclusive["qbs"] - 1.0)

@@ -1,0 +1,73 @@
+"""Raw simulator-speed benchmarks (the one place timing statistics
+across rounds are meaningful).
+
+These guard against performance regressions in the hot path: the
+access loop (hierarchy + replacement + timing) and the batched trace
+generator.  No shape assertions — just throughput floors loose enough
+to pass on any reasonable machine.
+"""
+
+import itertools
+
+from repro import CMPSimulator, SimConfig, baseline_hierarchy
+from repro.workloads import mix_by_name, take
+from repro.workloads.spec import app_trace
+
+SCALE = 0.0625
+
+
+def test_access_loop_throughput(benchmark):
+    """Simulate 40k instructions of MIX_10 per round."""
+    reference = baseline_hierarchy(2, scale=SCALE)
+
+    def run():
+        config = SimConfig(
+            hierarchy=baseline_hierarchy(2, scale=SCALE),
+            instruction_quota=20_000,
+        )
+        return CMPSimulator(
+            config, mix_by_name("MIX_10").traces(reference)
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.total_instructions == 40_000
+    # Floor: the simulator must stay above ~30k instructions/second.
+    assert benchmark.stats["mean"] < 40_000 / 30_000
+
+
+def test_trace_generator_throughput(benchmark):
+    """Generate 50k records per round (numpy-batched path)."""
+    reference = baseline_hierarchy(2, scale=SCALE)
+
+    def generate():
+        return take(app_trace("lib", reference=reference), 50_000)
+
+    records = benchmark.pedantic(
+        generate, rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert len(records) == 50_000
+    # Floor: generation must stay above ~200k records/second.
+    assert benchmark.stats["mean"] < 50_000 / 200_000
+
+
+def test_pure_cache_array_throughput(benchmark):
+    """A tight fill/access loop on one cache array."""
+    from repro.cache import Cache
+    from repro.config import CacheConfig
+
+    # Cycle over 500 lines inside a 1024-line cache: mostly hits after
+    # the first pass, exercising both the hit and fill paths.
+    addresses = list(itertools.islice(itertools.cycle(range(500)), 50_000))
+
+    def churn():
+        cache = Cache(CacheConfig(64 * 1024, 16, name="bench"))
+        hits = 0
+        for address in addresses:
+            if cache.access(address):
+                hits += 1
+            else:
+                cache.fill(address)
+        return hits
+
+    hits = benchmark.pedantic(churn, rounds=3, iterations=1, warmup_rounds=1)
+    assert hits > 0

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table I (per-app MPKI in isolation).
+
+Paper values (2 MB LLC, no prefetch) place five apps in each of the
+CCF / LLCF / LLCT categories; the reproduction must land every app in
+its published band.
+"""
+
+from repro.experiments import table1
+from repro.workloads import CATEGORY_CCF, CATEGORY_LLCF, CATEGORY_LLCT
+
+from .conftest import run_once
+
+
+def test_table1_mpki(runner, benchmark):
+    result = run_once(benchmark, lambda: table1(runner=runner))
+    print()
+    print(result["report"])
+    rows = {row["app"]: row for row in result["rows"]}
+    assert len(rows) == 15
+
+    for app, row in rows.items():
+        if row["category"] == CATEGORY_CCF:
+            # Working set fits the core caches: negligible L2 misses.
+            assert row["l2_mpki"] < 3.0, app
+            assert row["llc_mpki"] < 2.0, app
+        elif row["category"] == CATEGORY_LLCF:
+            # The LLC catches a substantial share of L2 misses.
+            assert row["l2_mpki"] > 3.0, app
+            assert row["llc_mpki"] < 0.8 * row["l2_mpki"], app
+        else:
+            assert row["category"] == CATEGORY_LLCT
+            # The LLC barely helps.
+            assert row["llc_mpki"] > 4.0, app
+            assert row["llc_mpki"] > 0.6 * row["l2_mpki"], app
+
+    # Spot checks straight out of the paper's discussion:
+    # libquantum has no locality at any level...
+    assert rows["lib"]["llc_mpki"] > 0.9 * rows["lib"]["l1_mpki"]
+    # ...and sjeng has good L1 locality.
+    assert rows["sje"]["l1_mpki"] < 3.0

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: measure what inclusion victims cost, and what QBS recovers.
+
+Runs the paper's MIX_10 (libquantum + sjeng — an LLC-thrashing stream
+co-running with a core-cache-fitting application) on the baseline
+inclusive hierarchy, then under QBS, a non-inclusive LLC, and an
+exclusive LLC, and prints the throughput comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CMPSimulator, SimConfig, baseline_hierarchy, tla_preset
+from repro.metrics import format_table
+from repro.workloads import mix_by_name
+
+# Everything is scaled to 1/16 of the paper's machine so the script
+# finishes in under a minute; capacity *ratios* (the thing inclusion
+# victims depend on) are preserved.
+SCALE = 0.0625
+QUOTA = 200_000
+WARMUP = 100_000
+
+
+def simulate(mode: str, tla: str = "none"):
+    mix = mix_by_name("MIX_10")
+    config = SimConfig(
+        hierarchy=baseline_hierarchy(2, mode=mode, tla=tla_preset(tla), scale=SCALE),
+        instruction_quota=QUOTA,
+        warmup_instructions=WARMUP,
+    )
+    reference = baseline_hierarchy(2, scale=SCALE)
+    return CMPSimulator(config, mix.traces(reference)).run()
+
+
+def main() -> None:
+    print("Simulating MIX_10 (libquantum + sjeng), 2-core CMP, 1:4 ratio...")
+    baseline = simulate("inclusive")
+    results = {
+        "inclusive (baseline)": baseline,
+        "inclusive + QBS": simulate("inclusive", "qbs"),
+        "inclusive + TLH-L1": simulate("inclusive", "tlh-l1"),
+        "inclusive + ECI": simulate("inclusive", "eci"),
+        "non-inclusive": simulate("non_inclusive"),
+        "exclusive": simulate("exclusive"),
+    }
+    rows = []
+    for label, result in results.items():
+        rows.append(
+            [
+                label,
+                result.throughput,
+                result.throughput / baseline.throughput,
+                result.total_llc_misses,
+                result.total_inclusion_victims,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["hierarchy", "throughput", "vs baseline", "LLC misses", "incl. victims"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "The sjeng core's hot lines are invisible to the inclusive LLC, so\n"
+        "libquantum's stream evicts them (inclusion victims).  QBS queries\n"
+        "the core caches before evicting and recovers non-inclusive\n"
+        "performance while keeping inclusion's snoop-filter property."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e .`` works in offline environments without the
+``wheel`` package (legacy ``setup.py develop`` editable installs).
+"""
+
+from setuptools import setup
+
+setup()

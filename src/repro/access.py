@@ -1,0 +1,59 @@
+"""Memory-access primitives shared by traces, cores and caches.
+
+Addresses are plain integers (byte addresses).  The hierarchy operates
+on *line* addresses (``byte_address >> line_shift``); helpers here keep
+that conversion in one place.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AccessType(enum.IntEnum):
+    """Kind of memory reference issued by a core.
+
+    ``IFETCH`` references go to the L1 instruction cache; ``LOAD`` and
+    ``STORE`` go to the L1 data cache.  ``STORE`` marks lines dirty.
+    """
+
+    IFETCH = 0
+    LOAD = 1
+    STORE = 2
+
+    @property
+    def is_instruction(self) -> bool:
+        return self is AccessType.IFETCH
+
+    @property
+    def is_data(self) -> bool:
+        return self is not AccessType.IFETCH
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessType.STORE
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory reference from a core.
+
+    Attributes:
+        address: byte address referenced.
+        kind: instruction fetch, load, or store.
+    """
+
+    address: int
+    kind: AccessType = AccessType.LOAD
+
+    def line_address(self, line_shift: int) -> int:
+        """Return the cache-line address for a line size of ``1 << line_shift``."""
+        return self.address >> line_shift
+
+
+def line_shift_for(line_size: int) -> int:
+    """Return ``log2(line_size)``, validating it is a power of two."""
+    if line_size <= 0 or line_size & (line_size - 1):
+        raise ValueError(f"line size must be a positive power of two, got {line_size}")
+    return line_size.bit_length() - 1

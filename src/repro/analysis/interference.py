@@ -1,0 +1,75 @@
+"""Per-application interference analysis.
+
+Quantifies how much each application in a mix suffers from sharing
+the machine — the per-core complement to the mix-level throughput
+metrics.  Used by examples and handy when choosing workloads whose
+interaction exposes inclusion victims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AppInterference:
+    """How one application fared inside a mix."""
+
+    app: str
+    core_id: int
+    isolated_ipc: float
+    mix_ipc: float
+
+    @property
+    def slowdown(self) -> float:
+        """Isolated-to-mix slowdown factor (1.0 = unaffected)."""
+        if self.mix_ipc <= 0:
+            raise ConfigurationError(f"{self.app}: mix IPC must be positive")
+        return self.isolated_ipc / self.mix_ipc
+
+    @property
+    def retained(self) -> float:
+        """Fraction of isolated performance retained in the mix."""
+        return self.mix_ipc / self.isolated_ipc
+
+
+def interference_profile(
+    apps: Sequence[str],
+    mix_ipcs: Sequence[float],
+    isolated_ipcs: Sequence[float],
+) -> List[AppInterference]:
+    """Pair up per-core mix and isolated IPCs into interference records."""
+    if not (len(apps) == len(mix_ipcs) == len(isolated_ipcs)):
+        raise ConfigurationError("apps, mix and isolated IPCs must align")
+    if any(ipc <= 0 for ipc in isolated_ipcs):
+        raise ConfigurationError("isolated IPCs must be positive")
+    return [
+        AppInterference(app, core_id, isolated, in_mix)
+        for core_id, (app, in_mix, isolated) in enumerate(
+            zip(apps, mix_ipcs, isolated_ipcs)
+        )
+    ]
+
+
+def most_victimised(profile: Sequence[AppInterference]) -> AppInterference:
+    """The application losing the largest fraction of its performance."""
+    if not profile:
+        raise ConfigurationError("empty interference profile")
+    return max(profile, key=lambda record: record.slowdown)
+
+
+def interference_summary(
+    profile: Sequence[AppInterference],
+) -> Dict[str, float]:
+    """Aggregate view: worst slowdown, mean retained fraction."""
+    if not profile:
+        raise ConfigurationError("empty interference profile")
+    retained = [record.retained for record in profile]
+    return {
+        "worst_slowdown": max(record.slowdown for record in profile),
+        "mean_retained": sum(retained) / len(retained),
+        "min_retained": min(retained),
+    }

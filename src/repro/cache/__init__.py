@@ -1,0 +1,29 @@
+"""Set-associative cache substrate with pluggable replacement policies.
+
+This package is the storage layer the hierarchy controllers are built
+on: :class:`~repro.cache.cache.Cache` models one cache array (tags,
+valid/dirty bits, per-set replacement state), and
+:mod:`repro.cache.replacement` provides the replacement policies the
+paper uses (LRU in the core caches, NRU at the LLC) plus several more
+for the footnote-4 ablation (SRRIP/BRRIP/DRRIP, FIFO, PLRU, LIP,
+random).
+"""
+
+from .line import CacheLine, EvictedLine
+from .cache import Cache
+from .victim_cache import VictimCache
+from .replacement import (
+    ReplacementPolicy,
+    available_policies,
+    make_policy,
+)
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "EvictedLine",
+    "VictimCache",
+    "ReplacementPolicy",
+    "available_policies",
+    "make_policy",
+]

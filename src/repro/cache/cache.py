@@ -1,0 +1,301 @@
+"""A single set-associative cache array.
+
+:class:`Cache` owns the tag store (valid/dirty bits per way) and a
+replacement-policy instance.  It deliberately knows nothing about the
+hierarchy: controllers in :mod:`repro.hierarchy` compose caches and
+decide what happens on misses, evictions and back-invalidations.
+
+Two levels of API are exposed:
+
+* the *simple* path — :meth:`access` / :meth:`fill` / :meth:`invalidate`
+  — enough for ordinary levels;
+* the *staged* path — :meth:`find_invalid_way`,
+  :meth:`select_victim`, :meth:`evict_way`, :meth:`fill_way` — which
+  lets TLA controllers interpose on LLC victim selection (QBS walks
+  candidates, ECI peeks at the next victim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection, Dict, Iterator, List, Optional, Tuple
+
+from ..config import CacheConfig
+from ..errors import SimulationError
+from .line import CacheLine, EvictedLine
+from .replacement import ReplacementPolicy, make_policy
+
+
+@dataclass
+class CacheArrayStats:
+    """Raw event counters for one cache array."""
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    invalidations: int = 0
+    dirty_invalidations: int = 0
+    promotions: int = 0
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+
+class Cache:
+    """Set-associative cache with pluggable replacement.
+
+    All addresses passed in are *line* addresses (already shifted by
+    the line size); the set index is the low bits of the line address.
+    """
+
+    def __init__(self, config: CacheConfig, policy: Optional[ReplacementPolicy] = None) -> None:
+        self.config = config
+        self.name = config.name
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self._set_mask = self.num_sets - 1
+        self._set_bits = max(1, self.num_sets.bit_length() - 1)
+        self._index_hash = config.index_hash
+        self.policy = policy or make_policy(
+            config.replacement, self.num_sets, self.associativity
+        )
+        if (
+            self.policy.num_sets != self.num_sets
+            or self.policy.associativity != self.associativity
+        ):
+            raise SimulationError(
+                f"{self.name}: policy geometry {self.policy.num_sets}x"
+                f"{self.policy.associativity} does not match cache geometry "
+                f"{self.num_sets}x{self.associativity}"
+            )
+        self._lines: List[CacheLine] = [
+            CacheLine() for _ in range(self.num_sets * self.associativity)
+        ]
+        # Per-set map: line address -> way index.
+        self._maps: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self.stats = CacheArrayStats()
+
+    # -- geometry helpers ---------------------------------------------------
+    def set_index_of(self, line_addr: int) -> int:
+        if self._index_hash:
+            # XOR-fold two extra tag slices into the index, the classic
+            # way hardware spreads power-of-two strides across sets.
+            line_addr ^= (line_addr >> self._set_bits) ^ (
+                line_addr >> (2 * self._set_bits)
+            )
+        return line_addr & self._set_mask
+
+    def line_at(self, set_index: int, way: int) -> CacheLine:
+        return self._lines[set_index * self.associativity + way]
+
+    # -- probes (no state change) --------------------------------------------
+    def way_of(self, line_addr: int) -> Optional[int]:
+        """Return the way holding ``line_addr`` or ``None`` (pure probe)."""
+        return self._maps[self.set_index_of(line_addr)].get(line_addr)
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._maps[self.set_index_of(line_addr)]
+
+    def is_dirty(self, line_addr: int) -> bool:
+        way = self.way_of(line_addr)
+        if way is None:
+            return False
+        return self.line_at(self.set_index_of(line_addr), way).dirty
+
+    # -- the simple path -------------------------------------------------------
+    def access(self, line_addr: int, write: bool = False) -> bool:
+        """Demand access; returns True on hit and updates replacement state."""
+        set_index = self.set_index_of(line_addr)
+        way = self._maps[set_index].get(line_addr)
+        if way is None:
+            self.stats.misses += 1
+            return False
+        self.stats.hits += 1
+        self.policy.on_hit(set_index, way)
+        if write:
+            self.line_at(set_index, way).dirty = True
+        return True
+
+    def promote(self, line_addr: int) -> bool:
+        """Refresh a line toward MRU without a demand access (TLH/QBS).
+
+        Returns False (and does nothing) if the line is absent.
+        """
+        set_index = self.set_index_of(line_addr)
+        way = self._maps[set_index].get(line_addr)
+        if way is None:
+            return False
+        self.policy.promote(set_index, way)
+        self.stats.promotions += 1
+        return True
+
+    def set_dirty(self, line_addr: int) -> bool:
+        """Mark a resident line dirty (e.g. a writeback landing here)."""
+        set_index = self.set_index_of(line_addr)
+        way = self._maps[set_index].get(line_addr)
+        if way is None:
+            return False
+        self.line_at(set_index, way).dirty = True
+        return True
+
+    def fill(
+        self,
+        line_addr: int,
+        dirty: bool = False,
+        exclude_ways: Collection[int] = (),
+    ) -> Optional[EvictedLine]:
+        """Install ``line_addr``, evicting if the set is full.
+
+        Returns the evicted line (if a valid line was displaced) so the
+        caller can enforce inclusion or write back dirty data.  Filling
+        an already-resident line refreshes its replacement state and
+        merges the dirty bit instead of duplicating it.
+        """
+        set_index = self.set_index_of(line_addr)
+        existing = self._maps[set_index].get(line_addr)
+        if existing is not None:
+            line = self.line_at(set_index, existing)
+            line.dirty = line.dirty or dirty
+            self.policy.on_hit(set_index, existing)
+            return None
+        victim: Optional[EvictedLine] = None
+        way = self.find_invalid_way(set_index, exclude_ways)
+        if way is None:
+            way = self.policy.select_victim(set_index, exclude_ways)
+            victim = self.evict_way(set_index, way)
+        self.fill_way(set_index, way, line_addr, dirty)
+        return victim
+
+    def invalidate(self, line_addr: int) -> Optional[EvictedLine]:
+        """Remove ``line_addr`` if present; returns what was dropped.
+
+        Used for back-invalidations (inclusion), early core
+        invalidations (ECI) and exclusive-hierarchy hit-invalidates.
+        """
+        set_index = self.set_index_of(line_addr)
+        way = self._maps[set_index].pop(line_addr, None)
+        if way is None:
+            return None
+        line = self.line_at(set_index, way)
+        dropped = EvictedLine(line.line_addr, line.dirty)
+        line.invalidate()
+        self.policy.on_invalidate(set_index, way)
+        self.stats.invalidations += 1
+        if dropped.dirty:
+            self.stats.dirty_invalidations += 1
+        return dropped
+
+    # -- the staged path (TLA controllers) ------------------------------------
+    def find_invalid_way(
+        self, set_index: int, exclude_ways: Collection[int] = ()
+    ) -> Optional[int]:
+        """Return an invalid way in the set, or None if all are valid."""
+        base = set_index * self.associativity
+        for way in range(self.associativity):
+            if way in exclude_ways:
+                continue
+            if not self._lines[base + way].valid:
+                return way
+        return None
+
+    def select_victim(
+        self, set_index: int, exclude_ways: Collection[int] = ()
+    ) -> Tuple[int, CacheLine]:
+        """Ask the policy for a victim way; prefers invalid ways.
+
+        Returns ``(way, line)`` without evicting — QBS inspects the
+        line (and may promote it) before deciding.
+        """
+        way = self.find_invalid_way(set_index, exclude_ways)
+        if way is None:
+            way = self.policy.select_victim(set_index, exclude_ways)
+        return way, self.line_at(set_index, way)
+
+    def promote_way(self, set_index: int, way: int) -> None:
+        """Promote a specific way (QBS sparing a resident victim)."""
+        self.policy.promote(set_index, way)
+        self.stats.promotions += 1
+
+    def evict_way(self, set_index: int, way: int) -> EvictedLine:
+        """Evict the (valid) line in ``way``; returns what was evicted."""
+        line = self.line_at(set_index, way)
+        if not line.valid:
+            raise SimulationError(
+                f"{self.name}: evicting invalid way {way} of set {set_index}"
+            )
+        evicted = EvictedLine(line.line_addr, line.dirty)
+        del self._maps[set_index][line.line_addr]
+        line.invalidate()
+        self.policy.on_invalidate(set_index, way)
+        self.stats.evictions += 1
+        if evicted.dirty:
+            self.stats.dirty_evictions += 1
+        return evicted
+
+    def fill_way(
+        self, set_index: int, way: int, line_addr: int, dirty: bool = False
+    ) -> None:
+        """Install ``line_addr`` into a specific (invalid) way."""
+        line = self.line_at(set_index, way)
+        if line.valid:
+            raise SimulationError(
+                f"{self.name}: filling over valid line in way {way} of set "
+                f"{set_index}; evict first"
+            )
+        if self.set_index_of(line_addr) != set_index:
+            raise SimulationError(
+                f"{self.name}: line {line_addr:#x} does not map to set {set_index}"
+            )
+        line.fill(line_addr, dirty)
+        self._maps[set_index][line_addr] = way
+        self.policy.on_fill(set_index, way)
+        self.stats.fills += 1
+
+    # -- introspection ----------------------------------------------------------
+    def resident_lines(self) -> Iterator[int]:
+        """Yield every resident line address (order unspecified)."""
+        for set_map in self._maps:
+            yield from set_map
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(len(m) for m in self._maps)
+
+    def set_occupancy(self, set_index: int) -> int:
+        return len(self._maps[set_index])
+
+    def flush(self) -> List[EvictedLine]:
+        """Invalidate everything; returns dirty lines for writeback."""
+        dirty: List[EvictedLine] = []
+        for line_addr in list(self.resident_lines()):
+            dropped = self.invalidate(line_addr)
+            if dropped is not None and dropped.dirty:
+                dirty.append(dropped)
+        return dirty
+
+    def __len__(self) -> int:
+        return self.occupancy()
+
+    def __contains__(self, line_addr: int) -> bool:
+        return self.contains(line_addr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Cache {self.name} {self.config.size_bytes}B "
+            f"{self.num_sets}x{self.associativity} {self.policy.name}>"
+        )

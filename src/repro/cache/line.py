@@ -1,0 +1,54 @@
+"""Cache-line bookkeeping objects.
+
+A :class:`CacheLine` is one way of one set.  Lines are identified by
+their *line address* (byte address right-shifted by the line shift);
+the tag/index split is handled by :class:`repro.cache.cache.Cache`, so
+a line simply remembers its full line address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class CacheLine:
+    """One way of one cache set.
+
+    Attributes:
+        line_addr: full line address currently cached, meaningless when
+            ``valid`` is false.
+        valid: whether the way holds a line.
+        dirty: whether the line has been written since it was filled.
+    """
+
+    __slots__ = ("line_addr", "valid", "dirty")
+
+    def __init__(self) -> None:
+        self.line_addr = 0
+        self.valid = False
+        self.dirty = False
+
+    def fill(self, line_addr: int, dirty: bool = False) -> None:
+        """Install ``line_addr`` into this way."""
+        self.line_addr = line_addr
+        self.valid = True
+        self.dirty = dirty
+
+    def invalidate(self) -> None:
+        """Drop the line; dirty state is the caller's responsibility."""
+        self.valid = False
+        self.dirty = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.valid:
+            return "<CacheLine invalid>"
+        flag = "D" if self.dirty else "C"
+        return f"<CacheLine {self.line_addr:#x} {flag}>"
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """Result of an eviction: the line address and whether it was dirty."""
+
+    line_addr: int
+    dirty: bool

@@ -1,0 +1,44 @@
+"""Replacement policies for :class:`repro.cache.cache.Cache`.
+
+The paper's baseline uses LRU in the core caches and NRU (Not
+Recently Used) at the LLC (Section IV.A).  Footnote 4 notes that the
+inclusion problem is independent of the LLC replacement policy and
+was verified with LRU and RRIP as well; the extra policies here
+(SRRIP / BRRIP / DRRIP, FIFO, PLRU, LIP, random) exist to reproduce
+that ablation.
+
+All policies implement the :class:`ReplacementPolicy` interface.  Two
+operations beyond the classic hit/fill/victim trio matter for TLA
+management:
+
+* ``promote`` — refresh a line toward MRU without a data access.
+  TLH hints and QBS residency rejections both use this.
+* ``select_victim(set_index, exclude)`` — pick a victim while skipping
+  some ways.  ECI uses it to find "the next LRU line" after a fill,
+  and QBS uses it to walk successive victim candidates.
+"""
+
+from .base import ReplacementPolicy
+from .lru import LRUPolicy, LIPPolicy, MRUPolicy
+from .nru import NRUPolicy
+from .rrip import SRRIPPolicy, BRRIPPolicy, DRRIPPolicy
+from .simple import FIFOPolicy, RandomPolicy
+from .plru import TreePLRUPolicy
+from .registry import available_policies, make_policy, register_policy
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "LIPPolicy",
+    "MRUPolicy",
+    "NRUPolicy",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "DRRIPPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "TreePLRUPolicy",
+    "available_policies",
+    "make_policy",
+    "register_policy",
+]

@@ -1,0 +1,89 @@
+"""Recency-stack policies: classic LRU, LIP (LRU-insertion), and MRU.
+
+Each set keeps an explicit recency stack — a list of way indices with
+the MRU way at position 0 and the LRU way at the end.  Associativities
+in this study are small (4-16 ways), so list manipulation is cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, List
+
+from ...errors import SimulationError
+from .base import ReplacementPolicy
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least Recently Used: fills and hits move the way to MRU."""
+
+    name = "lru"
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self._stacks: List[List[int]] = [
+            list(range(associativity)) for _ in range(num_sets)
+        ]
+
+    def _touch(self, set_index: int, way: int, to_front: bool) -> None:
+        stack = self._stacks[set_index]
+        stack.remove(way)
+        if to_front:
+            stack.insert(0, way)
+        else:
+            stack.append(way)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way, to_front=True)
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self.last_hit_was_mru = self._stacks[set_index][0] == way
+        self._touch(set_index, way, to_front=True)
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way, to_front=False)
+
+    def select_victim(self, set_index: int, exclude: Collection[int] = ()) -> int:
+        self._check_exclusion(exclude)
+        stack = self._stacks[set_index]
+        excluded = set(exclude)
+        for way in reversed(stack):
+            if way not in excluded:
+                return way
+        raise SimulationError("lru: no victim found")  # pragma: no cover
+
+    def victim_order(self, set_index: int) -> List[int]:
+        return list(reversed(self._stacks[set_index]))
+
+    def recency_of(self, set_index: int, way: int) -> int:
+        """Return the recency rank of ``way`` (0 = MRU); for tests."""
+        return self._stacks[set_index].index(way)
+
+
+class LIPPolicy(LRUPolicy):
+    """LRU Insertion Policy: fills land at the LRU position.
+
+    Thrash-resistant variant from Qureshi et al.; a line must be
+    re-referenced once to be promoted to MRU.
+    """
+
+    name = "lip"
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way, to_front=False)
+
+
+class MRUPolicy(LRUPolicy):
+    """Evict the Most Recently Used way (anti-LRU, for stress tests)."""
+
+    name = "mru"
+
+    def select_victim(self, set_index: int, exclude: Collection[int] = ()) -> int:
+        self._check_exclusion(exclude)
+        excluded = set(exclude)
+        for way in self._stacks[set_index]:
+            if way not in excluded:
+                return way
+        raise SimulationError("mru: no victim found")  # pragma: no cover
+
+    def victim_order(self, set_index: int) -> List[int]:
+        return list(self._stacks[set_index])

@@ -1,0 +1,68 @@
+"""Not Recently Used (NRU) replacement — the paper's LLC baseline.
+
+NRU keeps a single reference bit per line.  Fills and hits set the
+bit; victim selection scans for the first way with a clear bit and, if
+every bit is set, clears them all first.  This is the one-bit
+degenerate case of RRIP and is what the paper's baseline LLC runs
+(Section IV.A, footnote 4).
+"""
+
+from __future__ import annotations
+
+from typing import Collection, List
+
+from ...errors import SimulationError
+from .base import ReplacementPolicy
+
+
+class NRUPolicy(ReplacementPolicy):
+    """One reference bit per way; scan-for-zero victim selection."""
+
+    name = "nru"
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        # One bytearray per set: 1 = recently used.
+        self._ref: List[bytearray] = [
+            bytearray(associativity) for _ in range(num_sets)
+        ]
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._ref[set_index][way] = 1
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._ref[set_index][way] = 1
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        self._ref[set_index][way] = 0
+
+    def select_victim(self, set_index: int, exclude: Collection[int] = ()) -> int:
+        self._check_exclusion(exclude)
+        ref = self._ref[set_index]
+        excluded = set(exclude)
+        # First pass: any not-recently-used, non-excluded way.
+        for way in range(self.associativity):
+            if not ref[way] and way not in excluded:
+                return way
+        # Every non-excluded way has its bit set.  Hardware clears all
+        # reference bits when *no* zero bit exists; if zero bits exist
+        # but are excluded, just take the first allowed way without
+        # touching state.
+        if all(ref):
+            for way in range(self.associativity):
+                ref[way] = 0
+        for way in range(self.associativity):
+            if way not in excluded:
+                return way
+        raise SimulationError("nru: no victim found")  # pragma: no cover
+
+    def victim_order(self, set_index: int) -> List[int]:
+        """Not-recently-used ways (in way order) first, then the rest."""
+        ref = self._ref[set_index]
+        cold = [w for w in range(self.associativity) if not ref[w]]
+        hot = [w for w in range(self.associativity) if ref[w]]
+        return cold + hot
+
+    def ref_bit(self, set_index: int, way: int) -> int:
+        """Expose the reference bit (tests and debugging)."""
+        return self._ref[set_index][way]

@@ -1,0 +1,64 @@
+"""Tree-based Pseudo-LRU replacement.
+
+A binary tree of direction bits per set: each internal node points
+toward the *less* recently used half.  Hits and fills flip the bits on
+the path to the accessed way so they point away from it; victim
+selection follows the bits from the root.
+
+Associativity must be a power of two.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, List
+
+from ...errors import SimulationError
+from .base import ReplacementPolicy
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Classic tree PLRU (one bit per internal node)."""
+
+    name = "plru"
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        if associativity & (associativity - 1):
+            raise SimulationError("plru requires power-of-two associativity")
+        self._levels = associativity.bit_length() - 1
+        # Heap layout: node 1 is the root, children of n are 2n, 2n+1.
+        self._bits: List[bytearray] = [
+            bytearray(associativity) for _ in range(num_sets)
+        ]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        """Point every node on the path to ``way`` away from it."""
+        bits = self._bits[set_index]
+        node = 1
+        for level in range(self._levels - 1, -1, -1):
+            direction = (way >> level) & 1
+            bits[node] = 1 - direction  # point at the other half
+            node = (node << 1) | direction
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def select_victim(self, set_index: int, exclude: Collection[int] = ()) -> int:
+        self._check_exclusion(exclude)
+        bits = self._bits[set_index]
+        node = 1
+        way = 0
+        for _ in range(self._levels):
+            direction = bits[node]
+            node = (node << 1) | direction
+            way = (way << 1) | direction
+        if way not in exclude:
+            return way
+        # The tree's single answer is excluded; fall back to way order.
+        for candidate in range(self.associativity):
+            if candidate not in exclude:
+                return candidate
+        raise SimulationError("plru: no victim found")  # pragma: no cover

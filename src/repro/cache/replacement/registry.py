@@ -1,0 +1,62 @@
+"""Name-based registry for replacement policies.
+
+:class:`repro.config.CacheConfig` refers to policies by name; the
+registry turns those names into instances.  Third-party policies can
+be plugged in with :func:`register_policy`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ...errors import UnknownPolicyError
+from .base import ReplacementPolicy
+from .lru import LIPPolicy, LRUPolicy, MRUPolicy
+from .nru import NRUPolicy
+from .plru import TreePLRUPolicy
+from .rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from .simple import FIFOPolicy, RandomPolicy
+
+PolicyFactory = Callable[[int, int], ReplacementPolicy]
+
+_REGISTRY: Dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str, factory: PolicyFactory) -> None:
+    """Register ``factory`` under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def available_policies() -> List[str]:
+    """Return the sorted list of registered policy names."""
+    return sorted(_REGISTRY)
+
+
+def make_policy(name: str, num_sets: int, associativity: int) -> ReplacementPolicy:
+    """Instantiate the policy registered under ``name``.
+
+    Raises:
+        UnknownPolicyError: if ``name`` is not registered.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownPolicyError(
+            f"unknown replacement policy {name!r}; known: {available_policies()}"
+        ) from None
+    return factory(num_sets, associativity)
+
+
+for _cls in (
+    LRUPolicy,
+    LIPPolicy,
+    MRUPolicy,
+    NRUPolicy,
+    TreePLRUPolicy,
+    SRRIPPolicy,
+    BRRIPPolicy,
+    DRRIPPolicy,
+    FIFOPolicy,
+    RandomPolicy,
+):
+    register_policy(_cls.name, _cls)

@@ -1,0 +1,141 @@
+"""Re-Reference Interval Prediction policies (SRRIP / BRRIP / DRRIP).
+
+Jaleel et al., ISCA 2010.  The paper under reproduction cites RRIP in
+footnote 4 as an "intelligent" LLC policy under which the inclusion
+problem still occurs; these implementations power that ablation
+(``benchmarks/test_ablation_replacement.py``).
+
+Each line carries an M-bit Re-Reference Prediction Value (RRPV);
+``2**M - 1`` means "re-referenced in the distant future" and is the
+eviction target.  SRRIP inserts at ``max - 1``, BRRIP inserts at
+``max`` except for an occasional ``max - 1``, and DRRIP set-duels
+between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, List
+
+from ...errors import SimulationError
+from .base import ReplacementPolicy
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """Static RRIP with hit-priority (hits reset RRPV to zero)."""
+
+    name = "srrip"
+    rrpv_bits = 2
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self.max_rrpv = (1 << self.rrpv_bits) - 1
+        self._rrpv: List[bytearray] = [
+            bytearray([self.max_rrpv] * associativity) for _ in range(num_sets)
+        ]
+
+    # -- insertion prediction (overridden by BRRIP/DRRIP) -------------------
+    def _insertion_rrpv(self, set_index: int) -> int:
+        return self.max_rrpv - 1
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = self._insertion_rrpv(set_index)
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = 0
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = self.max_rrpv
+
+    def select_victim(self, set_index: int, exclude: Collection[int] = ()) -> int:
+        self._check_exclusion(exclude)
+        rrpv = self._rrpv[set_index]
+        excluded = set(exclude)
+        # Age at most max_rrpv times; each aging pass increases the
+        # minimum candidate RRPV by one, so the loop must terminate.
+        for _ in range(self.max_rrpv + 1):
+            for way in range(self.associativity):
+                if way in excluded:
+                    continue
+                if rrpv[way] >= self.max_rrpv:
+                    return way
+            for way in range(self.associativity):
+                if rrpv[way] < self.max_rrpv:
+                    rrpv[way] += 1
+        raise SimulationError("rrip: aging failed to expose a victim")
+
+    def victim_order(self, set_index: int) -> List[int]:
+        rrpv = self._rrpv[set_index]
+        return sorted(
+            range(self.associativity), key=lambda w: (-rrpv[w], w)
+        )
+
+    def rrpv_of(self, set_index: int, way: int) -> int:
+        """Expose a line's RRPV (tests and debugging)."""
+        return self._rrpv[set_index][way]
+
+
+class BRRIPPolicy(SRRIPPolicy):
+    """Bimodal RRIP: distant insertion except 1-in-``bimodal_period``."""
+
+    name = "brrip"
+    bimodal_period = 32
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self._fill_count = 0
+
+    def _insertion_rrpv(self, set_index: int) -> int:
+        self._fill_count += 1
+        if self._fill_count % self.bimodal_period == 0:
+            return self.max_rrpv - 1
+        return self.max_rrpv
+
+
+class DRRIPPolicy(SRRIPPolicy):
+    """Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion.
+
+    A handful of leader sets is hard-wired to each constituent policy;
+    a saturating counter (``psel``) tracks which leader group misses
+    less, and follower sets copy the winner's insertion behaviour.
+    """
+
+    name = "drrip"
+    psel_bits = 10
+    leader_sets_per_policy = 32
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self._psel_max = (1 << self.psel_bits) - 1
+        self._psel = self._psel_max // 2
+        self._fill_count = 0
+        # At most a quarter of the sets lead each policy so followers
+        # always exist, even in tiny test caches.
+        leaders = max(1, min(self.leader_sets_per_policy, num_sets // 4))
+        stride = num_sets // leaders
+        self._srrip_leaders = frozenset(range(0, num_sets, stride))
+        self._brrip_leaders = frozenset(
+            s + stride // 2 for s in range(0, num_sets, stride)
+            if s + stride // 2 < num_sets
+        ) - self._srrip_leaders
+
+    def _brrip_insertion(self) -> int:
+        self._fill_count += 1
+        if self._fill_count % BRRIPPolicy.bimodal_period == 0:
+            return self.max_rrpv - 1
+        return self.max_rrpv
+
+    def _insertion_rrpv(self, set_index: int) -> int:
+        if set_index in self._srrip_leaders:
+            return self.max_rrpv - 1
+        if set_index in self._brrip_leaders:
+            return self._brrip_insertion()
+        if self._psel >= self._psel_max // 2:
+            return self.max_rrpv - 1  # SRRIP is winning
+        return self._brrip_insertion()
+
+    def record_miss(self, set_index: int) -> None:
+        """Update set-dueling state; called by the cache on misses."""
+        if set_index in self._srrip_leaders and self._psel > 0:
+            self._psel -= 1
+        elif set_index in self._brrip_leaders and self._psel < self._psel_max:
+            self._psel += 1

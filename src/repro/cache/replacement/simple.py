@@ -1,0 +1,78 @@
+"""FIFO and deterministic-random replacement policies."""
+
+from __future__ import annotations
+
+from typing import Collection, List
+
+from ...errors import SimulationError
+from .base import ReplacementPolicy
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-In First-Out: eviction order equals fill order."""
+
+    name = "fifo"
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        # Oldest way at the front of each queue.
+        self._queues: List[List[int]] = [
+            list(range(associativity)) for _ in range(num_sets)
+        ]
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        queue = self._queues[set_index]
+        queue.remove(way)
+        queue.append(way)
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        """FIFO ignores hits by definition."""
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        queue = self._queues[set_index]
+        queue.remove(way)
+        queue.insert(0, way)
+
+    def select_victim(self, set_index: int, exclude: Collection[int] = ()) -> int:
+        self._check_exclusion(exclude)
+        excluded = set(exclude)
+        for way in self._queues[set_index]:
+            if way not in excluded:
+                return way
+        raise SimulationError("fifo: no victim found")  # pragma: no cover
+
+    def victim_order(self, set_index: int) -> List[int]:
+        return list(self._queues[set_index])
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-pseudo-random victim selection (deterministic LCG).
+
+    A private linear congruential generator keeps runs reproducible
+    without importing :mod:`random` state into the simulator.
+    """
+
+    name = "random"
+    _LCG_A = 6364136223846793005
+    _LCG_C = 1442695040888963407
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, num_sets: int, associativity: int, seed: int = 0x5EED) -> None:
+        super().__init__(num_sets, associativity)
+        self._state = seed & self._MASK or 1
+
+    def _next(self) -> int:
+        self._state = (self._state * self._LCG_A + self._LCG_C) & self._MASK
+        return self._state >> 33
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        """Random replacement keeps no per-line state."""
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        """Random replacement keeps no per-line state."""
+
+    def select_victim(self, set_index: int, exclude: Collection[int] = ()) -> int:
+        self._check_exclusion(exclude)
+        excluded = set(exclude)
+        candidates = [w for w in range(self.associativity) if w not in excluded]
+        return candidates[self._next() % len(candidates)]

@@ -1,0 +1,14 @@
+"""Coherence-side substrate: directory bits, messages, snoop filtering.
+
+The paper's TLA policies need no new hardware structures — "only extra
+messages in the system".  This package makes those messages explicit:
+every back-invalidate, early-core-invalidate, QBS query and temporal
+locality hint is counted by a :class:`~repro.coherence.messages.TrafficMeter`
+so the traffic claims of Sections V.B and V.C can be reproduced.
+"""
+
+from .directory import Directory
+from .messages import MessageType, TrafficMeter
+from .snoop_filter import SnoopFilterModel
+
+__all__ = ["Directory", "MessageType", "TrafficMeter", "SnoopFilterModel"]

@@ -1,0 +1,47 @@
+"""Snoop-cost model: what inclusion buys and non-inclusion gives up.
+
+An inclusive LLC is a natural snoop filter: an LLC miss guarantees the
+line is in no core cache, so external requests that miss never probe
+the cores.  Non-inclusive and exclusive hierarchies lose that
+guarantee — a request missing the LLC must still probe every core
+(Section I/II of the paper).  :class:`SnoopFilterModel` counts how
+many core probes each hierarchy mode would have issued for the same
+request stream, quantifying the coherence benefit TLA policies
+preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SnoopFilterModel:
+    """Accumulates would-be snoop probes per hierarchy mode."""
+
+    num_cores: int
+    inclusive_probes: int = 0
+    non_inclusive_probes: int = 0
+    llc_misses_observed: int = 0
+
+    def on_llc_miss(self, directory_sharers: int = 0) -> None:
+        """Record the snoop cost of one LLC miss.
+
+        With inclusion, an LLC miss needs zero core probes (the line
+        cannot be in any core cache).  Without inclusion, all cores
+        must be probed because the LLC tags say nothing about the core
+        caches.
+
+        Args:
+            directory_sharers: sharers recorded by an (optional)
+                auxiliary snoop filter; inclusive hierarchies probe
+                only those.
+        """
+        self.llc_misses_observed += 1
+        self.inclusive_probes += directory_sharers
+        self.non_inclusive_probes += self.num_cores
+
+    @property
+    def probes_avoided(self) -> int:
+        """Core probes inclusion avoided relative to non-inclusion."""
+        return self.non_inclusive_probes - self.inclusive_probes

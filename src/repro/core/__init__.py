@@ -1,0 +1,34 @@
+"""Temporal Locality Aware (TLA) cache management — the paper's contribution.
+
+Three policies let an inclusive LLC learn the temporal locality that
+the core caches hide from it:
+
+* :class:`TemporalLocalityHints` (TLH) — core-cache hits *convey*
+  locality by sending replacement-state hints to the LLC (Section
+  III.A; a bandwidth-unconstrained limit study).
+* :class:`EarlyCoreInvalidation` (ECI) — the LLC *derives* locality by
+  invalidating the next potential victim early from the core caches
+  and watching for a re-request (Section III.B).
+* :class:`QueryBasedSelection` (QBS) — the LLC *infers* locality by
+  querying the core caches before evicting; resident lines are spared
+  and refreshed (Section III.C).
+
+All three hook :class:`repro.hierarchy.BaseHierarchy` through the
+:class:`TLAPolicy` interface and need no new hardware structures, only
+messages (which :class:`repro.coherence.TrafficMeter` counts).
+"""
+
+from .tla import TLAPolicy
+from .tlh import TemporalLocalityHints
+from .eci import EarlyCoreInvalidation
+from .qbs import QueryBasedSelection
+from .factory import make_tla_policy, available_tla_policies
+
+__all__ = [
+    "TLAPolicy",
+    "TemporalLocalityHints",
+    "EarlyCoreInvalidation",
+    "QueryBasedSelection",
+    "make_tla_policy",
+    "available_tla_policies",
+]

@@ -1,0 +1,44 @@
+"""Build TLA policy instances from :class:`repro.config.TLAConfig`."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import TLAConfig
+from ..errors import UnknownPolicyError
+from .eci import EarlyCoreInvalidation
+from .qbs import QueryBasedSelection
+from .tla import TLAPolicy
+from .tlh import TemporalLocalityHints
+
+
+def available_tla_policies() -> List[str]:
+    """Names accepted by :func:`make_tla_policy`."""
+    return ["none", "tlh", "eci", "qbs"]
+
+
+def make_tla_policy(config: TLAConfig) -> TLAPolicy:
+    """Instantiate the TLA policy described by ``config``.
+
+    Raises:
+        UnknownPolicyError: if ``config.policy`` is not a known policy.
+    """
+    if config.policy == "none":
+        return TLAPolicy()
+    if config.policy == "tlh":
+        return TemporalLocalityHints(
+            levels=config.levels,
+            sample_rate=config.sample_rate,
+            mru_filter=config.mru_filter,
+        )
+    if config.policy == "eci":
+        return EarlyCoreInvalidation()
+    if config.policy == "qbs":
+        return QueryBasedSelection(
+            levels=config.levels,
+            max_queries=config.max_queries,
+            back_invalidate=config.back_invalidate,
+        )
+    raise UnknownPolicyError(
+        f"unknown TLA policy {config.policy!r}; known: {available_tla_policies()}"
+    )

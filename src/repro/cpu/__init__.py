@@ -1,0 +1,21 @@
+"""CPU-side model: per-core timing, trace consumption, CMP interleaving.
+
+The functional hierarchy (:mod:`repro.hierarchy`) is exact; this
+package converts its hit levels into cycles with a lightweight
+out-of-order timing model (Section IV.A's 4-way/128-ROB core reduced
+to an analytic form — see :class:`~repro.cpu.timing.CoreTimingModel`),
+and interleaves the cores of a CMP by advancing whichever core is
+earliest in simulated time.
+"""
+
+from .timing import CoreTimingModel
+from .core import SimulatedCore
+from .cmp import CMPSimulator, CoreResult, SimResult
+
+__all__ = [
+    "CoreTimingModel",
+    "SimulatedCore",
+    "CMPSimulator",
+    "CoreResult",
+    "SimResult",
+]

@@ -1,0 +1,132 @@
+"""One simulated core: consumes a trace, drives the hierarchy, keeps time.
+
+Statistics (both cycle counts for IPC and the hierarchy's per-core
+demand counters) freeze once the core passes its instruction quota,
+but the core keeps executing so it continues to compete for the
+shared LLC — the methodology of paper Section IV.B.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..config import SimConfig
+from ..errors import SimulationError
+from ..hierarchy import HIT_LLC, BaseHierarchy
+from ..hierarchy.mshr import MSHRFile
+from ..prefetch import make_prefetcher
+from ..workloads.trace import TraceRecord
+from .timing import CoreTimingModel
+
+
+class SimulatedCore:
+    """Trace-driven core front-end for one hardware context."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Iterator[TraceRecord],
+        hierarchy: BaseHierarchy,
+        config: SimConfig,
+        mshr: Optional[MSHRFile] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.quota = config.instruction_quota
+        self.warmup = config.warmup_instructions
+        self.timing = CoreTimingModel(config.timing, mshr)
+        self.prefetcher = None
+        if config.prefetch.enabled:
+            self.prefetcher = make_prefetcher(
+                config.prefetch, hierarchy.line_shift
+            )
+        #: cycle counts captured at the measurement-window boundaries.
+        self.cycles_at_warmup: float = 0.0 if self.warmup == 0 else -1.0
+        self.cycles_at_quota: Optional[float] = None
+        self._exhausted = False
+        self._quota_end = self.warmup + self.quota
+
+    @property
+    def instructions(self) -> int:
+        return self.timing.instructions
+
+    @property
+    def cycles(self) -> float:
+        return self.timing.cycles
+
+    @property
+    def quota_end(self) -> int:
+        """Instruction count at which the measurement window closes."""
+        return self._quota_end
+
+    @property
+    def done(self) -> bool:
+        """Has this core retired its instruction quota (or run dry)?"""
+        return self._exhausted or self.timing.instructions >= self._quota_end
+
+    @property
+    def recording(self) -> bool:
+        """Is this core inside its measurement window?"""
+        instructions = self.timing.instructions
+        return self.warmup <= instructions < self._quota_end
+
+    def step(self) -> bool:
+        """Process one trace record; returns False if the trace ended.
+
+        Finite traces simply stop advancing the core (infinite
+        generators are the normal case for experiments).
+        """
+        timing = self.timing
+        try:
+            gap, kind, address = next(self.trace)
+        except StopIteration:
+            self._exhausted = True
+            self._finish()
+            return False
+        instructions = timing.instructions
+        recording = self.warmup <= instructions < self._quota_end
+        timing.advance(gap)
+        level = self.hierarchy.access(
+            self.core_id, address, kind, record_stats=recording
+        )
+        timing.record_access(level, kind)
+        if self.prefetcher is not None and level >= HIT_LLC:
+            for prefetch_addr in self.prefetcher.train(address):
+                self.hierarchy.prefetch(self.core_id, prefetch_addr)
+        instructions = timing.instructions
+        if self.cycles_at_warmup < 0 and instructions >= self.warmup:
+            self.cycles_at_warmup = timing.cycles
+        if recording and instructions >= self._quota_end:
+            self._finish()
+        return True
+
+    def _finish(self) -> None:
+        if self.cycles_at_quota is None:
+            self.timing.drain()
+            self.cycles_at_quota = self.timing.cycles
+            if self.cycles_at_warmup < 0:
+                # Trace ended during warm-up: no measurement window.
+                self.cycles_at_warmup = self.timing.cycles
+
+    def measured_instructions(self) -> int:
+        """Instructions retired inside the measurement window."""
+        end = min(self.timing.instructions, self.quota_end)
+        return max(0, end - self.warmup)
+
+    def ipc(self) -> float:
+        """Committed IPC over the measured quota window."""
+        if self.cycles_at_quota is None:
+            raise SimulationError(
+                f"core {self.core_id} has not reached its quota yet"
+            )
+        window = self.cycles_at_quota - self.cycles_at_warmup
+        if window <= 0:
+            return 0.0
+        return self.measured_instructions() / window
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SimulatedCore {self.core_id} instr={self.instructions} "
+            f"cycles={self.cycles:.0f}>"
+        )

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range.
+
+    Raised eagerly at construction time (e.g. a cache whose size is not
+    divisible by ``associativity * line_size``) so that simulations
+    never start from an invalid machine description.
+    """
+
+
+class SimulationError(ReproError):
+    """An invariant was violated while a simulation was running.
+
+    This always indicates a bug in the simulator (or a hand-built,
+    inconsistent hierarchy), never a property of the workload.
+    """
+
+
+class InclusionViolationError(SimulationError):
+    """A line was found in a core cache but not in an inclusive LLC."""
+
+
+class ExclusionViolationError(SimulationError):
+    """A line was duplicated between levels of an exclusive hierarchy."""
+
+
+class TraceError(ReproError):
+    """A trace record or trace file could not be parsed or generated."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was asked for an unknown or invalid run."""
+
+
+class UnknownPolicyError(ConfigurationError):
+    """A replacement or TLA policy name did not match any registered one."""

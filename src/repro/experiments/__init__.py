@@ -1,0 +1,68 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each driver regenerates one artefact of the evaluation section and
+returns structured results (plus a printable report):
+
+======================  ====================================================
+``table1``              Table I — per-app L1/L2/LLC MPKI in isolation
+``figure2``             Fig 2 — hierarchy comparison across cache ratios
+``figure5``             Fig 5 — TLH variants (+ hint-rate sensitivity)
+``figure6``             Fig 6 — ECI
+``figure7``             Fig 7 — QBS variants and query limits
+``figure8``             Fig 8 — LLC miss reduction per policy
+``figure9``             Fig 9 — summary on inclusive + non-inclusive bases
+``figure10``            Fig 10 — scalability across core:LLC ratios
+``figure11``            Fig 11 — scalability to 4- and 8-core CMPs
+``victim_cache_study``  Section VI — 32-entry victim cache comparison
+``traffic_study``       Sections V.A-V.C — message traffic accounting
+======================  ====================================================
+
+Runs are simulated on a *scaled* machine (every cache shrunk by
+``ExperimentSettings.scale``, working sets shrunk to match) so the
+whole suite completes in minutes; set ``REPRO_FULL=1`` for larger
+windows, every one of the 105 two-core mixes, and the paper-sized
+caches if you have the patience.
+"""
+
+from .runner import ExperimentSettings, Runner, RunSummary
+from .tables import table1, table2
+from .figures import (
+    figure2,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    traffic_study,
+    victim_cache_study,
+)
+from .figure3 import figure3
+from .studies import fairness_study, snoop_study
+from .registry import EXPERIMENTS, run_experiment
+from . import export
+
+__all__ = [
+    "ExperimentSettings",
+    "Runner",
+    "RunSummary",
+    "table1",
+    "table2",
+    "figure2",
+    "figure3",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "traffic_study",
+    "victim_cache_study",
+    "fairness_study",
+    "snoop_study",
+    "EXPERIMENTS",
+    "run_experiment",
+    "export",
+]

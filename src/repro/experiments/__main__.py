@@ -1,0 +1,76 @@
+"""CLI for the experiment drivers.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table1
+    python -m repro.experiments figure7
+    python -m repro.experiments all
+
+Fidelity knobs come from the environment (see
+:class:`repro.experiments.ExperimentSettings`): ``REPRO_SCALE``,
+``REPRO_QUOTA``, ``REPRO_WARMUP``, ``REPRO_SAMPLE``, ``REPRO_FULL``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .registry import EXPERIMENTS, run_experiment
+from .runner import ExperimentSettings, Runner
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of the TLA paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names, 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--json-dir",
+        help="also dump each experiment's result as <dir>/<name>.json",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.experiments == ["all"]:
+        names = sorted(EXPERIMENTS)
+    else:
+        names = args.experiments
+    settings = ExperimentSettings.from_env()
+    runner = Runner(settings)
+    print(
+        f"# settings: scale={settings.scale} quota={settings.quota} "
+        f"warmup={settings.warmup} sample={settings.sample} full={settings.full}"
+    )
+    for name in names:
+        start = time.time()
+        result = run_experiment(name, runner=runner)
+        elapsed = time.time() - start
+        print()
+        print(result["report"])
+        print(f"# {name} finished in {elapsed:.1f}s")
+        if args.json_dir:
+            from pathlib import Path
+
+            from . import export
+
+            directory = Path(args.json_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            export.to_json(result, directory / f"{name}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

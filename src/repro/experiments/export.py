@@ -1,0 +1,84 @@
+"""Export experiment results to JSON / CSV for external plotting.
+
+The drivers return nested dicts; these helpers flatten them into
+spreadsheet-shaped rows so figures can be re-plotted with any tool::
+
+    from repro.experiments import figure7, export
+    result = figure7()
+    export.to_csv(export.flatten_per_mix(result["per_mix"]), "fig7.csv")
+    export.to_json(result, "fig7.json")
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Union
+
+from ..errors import ExperimentError
+
+PathLike = Union[str, Path]
+
+
+def flatten_per_mix(
+    per_mix: Mapping[str, Mapping[str, float]],
+    key_column: str = "mix",
+) -> List[Dict[str, object]]:
+    """Turn ``{mix: {variant: value}}`` into a list of row dicts."""
+    rows: List[Dict[str, object]] = []
+    for mix, values in per_mix.items():
+        row: Dict[str, object] = {key_column: mix}
+        row.update(values)
+        rows.append(row)
+    return rows
+
+
+def flatten_series(
+    series: Mapping[str, Mapping[str, float]],
+    key_column: str = "policy",
+) -> List[Dict[str, object]]:
+    """Turn ``{policy: {x_label: value}}`` (ratio/core sweeps) into rows."""
+    return flatten_per_mix(series, key_column=key_column)
+
+
+def to_csv(rows: Sequence[Mapping[str, object]], path: PathLike) -> int:
+    """Write row dicts as CSV; returns the number of data rows."""
+    rows = list(rows)
+    if not rows:
+        raise ExperimentError("nothing to export")
+    fieldnames: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def to_json(result: Mapping[str, object], path: PathLike) -> None:
+    """Dump a driver result as JSON (the ``report`` string included)."""
+    serialisable = {
+        key: value
+        for key, value in result.items()
+        if _is_jsonable(value)
+    }
+    Path(path).write_text(json.dumps(serialisable, indent=2, default=_coerce))
+
+
+def _coerce(value: object) -> object:
+    if isinstance(value, (set, frozenset, tuple)):
+        return sorted(value) if isinstance(value, (set, frozenset)) else list(value)
+    raise TypeError(f"not JSON-serialisable: {type(value)!r}")
+
+
+def _is_jsonable(value: object) -> bool:
+    try:
+        json.dumps(value, default=_coerce)
+    except (TypeError, ValueError):
+        return False
+    return True

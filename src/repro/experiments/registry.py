@@ -1,0 +1,52 @@
+"""Name-indexed registry of all experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import ExperimentError
+from .runner import Runner
+from .tables import table1, table2
+from .figures import (
+    figure2,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    traffic_study,
+    victim_cache_study,
+)
+from .figure3 import figure3
+from .studies import fairness_study, snoop_study
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": table1,
+    "table2": lambda runner=None: table2(),
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "victim-cache": victim_cache_study,
+    "traffic": traffic_study,
+    "fairness": fairness_study,
+    "snoop": snoop_study,
+}
+
+
+def run_experiment(name: str, runner: Optional[Runner] = None) -> Dict:
+    """Run a named experiment; raises ``ExperimentError`` on unknown names."""
+    try:
+        driver = EXPERIMENTS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return driver(runner=runner) if name != "table2" else table2()

@@ -1,0 +1,285 @@
+"""Shared run machinery for the experiment drivers.
+
+A :class:`Runner` executes (mix, hierarchy-variant) simulations and
+memoises results both in memory and on disk, so a figure driver that
+shares its baseline runs with another driver — or a re-invoked
+benchmark — pays for each simulation exactly once.
+
+Scaling: the paper simulates 250 M instructions per benchmark on a
+2 MB-LLC machine.  Python cannot afford that per (mix x policy x
+figure), so experiments default to a machine scaled by
+``ExperimentSettings.scale`` with working sets scaled identically
+(see :func:`repro.config.scale_hierarchy`), preserving every capacity
+ratio the paper's effects depend on, and to a few hundred thousand
+instructions per core with an explicit warm-up window replacing the
+paper's cold-start amortisation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..config import (
+    SimConfig,
+    TLAConfig,
+    baseline_hierarchy,
+    tla_preset,
+)
+from ..cpu import CMPSimulator
+from ..errors import ExperimentError
+from ..version import __version__
+from ..workloads import WorkloadMix, all_two_core_mixes
+
+#: Bump when simulator behaviour changes to invalidate stale caches.
+_CACHE_SCHEMA = 6
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs controlling experiment fidelity vs runtime.
+
+    Environment overrides: ``REPRO_SCALE``, ``REPRO_QUOTA``,
+    ``REPRO_WARMUP``, ``REPRO_SAMPLE``, ``REPRO_CACHE_DIR``,
+    ``REPRO_FULL=1`` (every 105-mix aggregate instead of a sample).
+    """
+
+    scale: float = 0.0625
+    quota: int = 300_000
+    warmup: int = 150_000
+    #: how many of the 105 two-core mixes the "All" aggregates use.
+    sample: int = 24
+    full: bool = False
+    cache_dir: Optional[str] = ".repro-cache"
+
+    @classmethod
+    def from_env(cls) -> "ExperimentSettings":
+        env = os.environ
+        full = env.get("REPRO_FULL", "") not in ("", "0")
+        return cls(
+            scale=float(env.get("REPRO_SCALE", 0.0625)),
+            quota=int(env.get("REPRO_QUOTA", 600_000 if full else 300_000)),
+            warmup=int(env.get("REPRO_WARMUP", 300_000 if full else 150_000)),
+            sample=int(env.get("REPRO_SAMPLE", 105 if full else 24)),
+            full=full,
+            cache_dir=env.get("REPRO_CACHE_DIR", ".repro-cache"),
+        )
+
+
+@dataclass
+class RunSummary:
+    """The slice of a :class:`repro.cpu.SimResult` experiments consume."""
+
+    mix: str
+    apps: List[str]
+    mode: str
+    tla: str
+    ipcs: List[float]
+    llc_misses: int
+    llc_accesses: int
+    inclusion_victims: int
+    traffic: Dict[str, int]
+    max_cycles: float
+    instructions: List[int]
+    mpki: List[Dict[str, float]]
+
+    @property
+    def throughput(self) -> float:
+        return sum(self.ipcs)
+
+
+class Runner:
+    """Executes and caches (mix x machine-variant) simulations."""
+
+    def __init__(self, settings: Optional[ExperimentSettings] = None) -> None:
+        self.settings = settings or ExperimentSettings.from_env()
+        #: reference machine the workload generators size against —
+        #: always the scaled 2-core baseline, regardless of the
+        #: simulated variant (Table I's categories are baseline-relative).
+        self.reference = baseline_hierarchy(2, scale=self.settings.scale)
+        self._memory: Dict[str, RunSummary] = {}
+        self._disk: Optional[Path] = None
+        if self.settings.cache_dir:
+            self._disk = Path(self.settings.cache_dir)
+            self._disk.mkdir(parents=True, exist_ok=True)
+
+    # -- the workhorse ---------------------------------------------------------
+    def run(
+        self,
+        mix: WorkloadMix,
+        mode: str = "inclusive",
+        tla: str = "none",
+        llc_bytes: Optional[int] = None,
+        tla_config: Optional[TLAConfig] = None,
+        quota: Optional[int] = None,
+        warmup: Optional[int] = None,
+        victim_cache_entries: int = 0,
+    ) -> RunSummary:
+        """Simulate ``mix`` on one machine variant (cached).
+
+        ``tla`` names a preset from :data:`repro.config.TLA_PRESETS`;
+        pass ``tla_config`` instead for non-preset variants (query
+        limits, hint sampling) together with a unique ``tla`` label.
+        """
+        settings = self.settings
+        quota = quota if quota is not None else settings.quota
+        warmup = warmup if warmup is not None else settings.warmup
+        tla_cfg = tla_config if tla_config is not None else tla_preset(tla)
+        key = self._key(
+            mix, mode, tla, llc_bytes, tla_cfg, quota, warmup,
+            victim_cache_entries,
+        )
+        cached = self._load(key)
+        if cached is not None:
+            return cached
+
+        # llc_bytes is expressed at full (paper) size for readability;
+        # baseline_hierarchy applies the uniform scale to every cache.
+        hierarchy = baseline_hierarchy(
+            num_cores=mix.num_cores,
+            llc_bytes=llc_bytes,
+            mode=mode,
+            tla=tla_cfg,
+            scale=settings.scale,
+        )
+        if victim_cache_entries:
+            hierarchy = replace(
+                hierarchy, victim_cache_entries=victim_cache_entries
+            )
+        config = SimConfig(
+            hierarchy=hierarchy,
+            instruction_quota=quota,
+            warmup_instructions=warmup,
+        )
+        result = CMPSimulator(config, mix.traces(self.reference)).run()
+        summary = RunSummary(
+            mix=mix.name,
+            apps=list(mix.apps),
+            mode=mode,
+            tla=tla,
+            ipcs=result.ipcs,
+            llc_misses=result.total_llc_misses,
+            llc_accesses=result.total_llc_accesses,
+            inclusion_victims=result.total_inclusion_victims,
+            traffic=dict(result.traffic),
+            max_cycles=result.max_cycles,
+            instructions=[core.instructions for core in result.cores],
+            mpki=[
+                {
+                    "l1": core.mpki("l1"),
+                    "l1i": core.mpki("l1i"),
+                    "l1d": core.mpki("l1d"),
+                    "l2": core.mpki("l2"),
+                    "llc": core.mpki("llc"),
+                }
+                for core in result.cores
+            ],
+        )
+        self._store(key, summary)
+        return summary
+
+    # -- derived measurements -----------------------------------------------------
+    def normalized_throughput(
+        self,
+        mix: WorkloadMix,
+        mode: str = "inclusive",
+        tla: str = "none",
+        base_mode: str = "inclusive",
+        base_tla: str = "none",
+        llc_bytes: Optional[int] = None,
+        tla_config: Optional[TLAConfig] = None,
+    ) -> float:
+        """Throughput of a variant relative to a baseline on the same mix."""
+        variant = self.run(mix, mode, tla, llc_bytes, tla_config)
+        baseline = self.run(mix, base_mode, base_tla, llc_bytes)
+        if baseline.throughput <= 0:
+            raise ExperimentError(f"degenerate baseline for {mix.name}")
+        return variant.throughput / baseline.throughput
+
+    def miss_reduction(
+        self,
+        mix: WorkloadMix,
+        mode: str = "inclusive",
+        tla: str = "none",
+        llc_bytes: Optional[int] = None,
+        tla_config: Optional[TLAConfig] = None,
+    ) -> float:
+        """Fractional LLC-miss reduction vs the inclusive baseline."""
+        variant = self.run(mix, mode, tla, llc_bytes, tla_config)
+        baseline = self.run(mix, "inclusive", "none", llc_bytes)
+        if baseline.llc_misses == 0:
+            return 0.0
+        return (baseline.llc_misses - variant.llc_misses) / baseline.llc_misses
+
+    def sample_mixes(self, count: Optional[int] = None) -> List[WorkloadMix]:
+        """A deterministic, category-stratified sample of the 105 pairs.
+
+        Used for the "All(105)" aggregates when a full sweep is too
+        slow; ``REPRO_FULL=1`` returns all 105.
+        """
+        mixes = all_two_core_mixes()
+        count = count if count is not None else self.settings.sample
+        if count >= len(mixes):
+            return mixes
+        # Stride through the (category-ordered) list for coverage.
+        stride = len(mixes) / count
+        return [mixes[int(i * stride)] for i in range(count)]
+
+    # -- caching ----------------------------------------------------------------
+    def _key(
+        self,
+        mix: WorkloadMix,
+        mode: str,
+        tla: str,
+        llc_bytes: Optional[int],
+        tla_cfg: TLAConfig,
+        quota: int,
+        warmup: int,
+        victim_cache_entries: int = 0,
+    ) -> str:
+        payload = json.dumps(
+            {
+                "schema": _CACHE_SCHEMA,
+                "version": __version__,
+                # keyed by app composition, not mix name, so a Table II
+                # mix and the identical PAIR_* mix share one simulation
+                "apps": mix.apps,
+                "mode": mode,
+                "tla": tla,
+                "tla_cfg": asdict(tla_cfg),
+                "llc_bytes": llc_bytes,
+                "scale": self.settings.scale,
+                "quota": quota,
+                "warmup": warmup,
+                "vc": victim_cache_entries,
+            },
+            sort_keys=True,
+            default=list,
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()
+
+    def _load(self, key: str) -> Optional[RunSummary]:
+        if key in self._memory:
+            return self._memory[key]
+        if self._disk is None:
+            return None
+        path = self._disk / f"{key}.json"
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            summary = RunSummary(**data)
+        except (ValueError, TypeError):
+            return None  # stale/corrupt cache entry; recompute
+        self._memory[key] = summary
+        return summary
+
+    def _store(self, key: str, summary: RunSummary) -> None:
+        self._memory[key] = summary
+        if self._disk is not None:
+            path = self._disk / f"{key}.json"
+            path.write_text(json.dumps(asdict(summary)))

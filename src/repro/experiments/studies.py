@@ -1,0 +1,121 @@
+"""Secondary studies: fairness metrics (footnote 5) and snoop cost.
+
+``fairness_study`` reproduces the paper's footnote 5: "We compared the
+performance of the TLA policies on both the weighted speedup and
+hmean-fairness metrics.  Since the TLA policies do not introduce any
+fairness issues, they perform similar to the throughput metric."
+
+``snoop_study`` quantifies the motivation of Sections I-II: what the
+snoop filter that inclusion provides is worth, i.e. how many core
+probes a non-inclusive hierarchy would need for the same miss stream
+— the cost QBS avoids paying while matching non-inclusive
+performance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import MB
+from ..metrics import format_table, geomean, hmean_fairness, weighted_speedup
+from ..workloads import TABLE2_MIXES, WorkloadMix
+from .runner import Runner
+
+
+def fairness_study(runner: Optional[Runner] = None) -> Dict:
+    """Compare QBS gains under throughput, weighted speedup, hmean.
+
+    Shape target: all three metrics agree on the sign and rough size
+    of the QBS improvement for every showcase mix (no fairness issues
+    are introduced), matching footnote 5.
+    """
+    runner = runner or Runner()
+    isolated: Dict[str, float] = {}
+
+    def isolated_ipc(app: str) -> float:
+        if app not in isolated:
+            mix = WorkloadMix(f"ISO_{app}", (app,))
+            isolated[app] = runner.run(mix, llc_bytes=2 * MB).ipcs[0]
+        return isolated[app]
+
+    per_mix: Dict[str, Dict[str, float]] = {}
+    for mix in TABLE2_MIXES:
+        base = runner.run(mix, "inclusive", "none")
+        qbs = runner.run(mix, "inclusive", "qbs")
+        iso = [isolated_ipc(app) for app in mix.apps]
+        per_mix[mix.name] = {
+            "throughput_gain": qbs.throughput / base.throughput,
+            "weighted_speedup_gain": (
+                weighted_speedup(qbs.ipcs, iso) / weighted_speedup(base.ipcs, iso)
+            ),
+            "hmean_fairness_gain": (
+                hmean_fairness(qbs.ipcs, iso) / hmean_fairness(base.ipcs, iso)
+            ),
+        }
+    aggregate = {
+        metric: geomean([v[metric] for v in per_mix.values()])
+        for metric in (
+            "throughput_gain",
+            "weighted_speedup_gain",
+            "hmean_fairness_gain",
+        )
+    }
+    rows = [
+        [name, v["throughput_gain"], v["weighted_speedup_gain"],
+         v["hmean_fairness_gain"]]
+        for name, v in per_mix.items()
+    ]
+    rows.append(["All", aggregate["throughput_gain"],
+                 aggregate["weighted_speedup_gain"],
+                 aggregate["hmean_fairness_gain"]])
+    report = format_table(
+        ["mix", "throughput", "weighted speedup", "hmean fairness"],
+        rows,
+        title="Footnote 5 (reproduced): QBS gain under three metrics",
+    )
+    return {"per_mix": per_mix, "aggregate": aggregate, "report": report}
+
+
+def snoop_study(runner: Optional[Runner] = None) -> Dict:
+    """Count the core probes inclusion's snoop filtering avoids.
+
+    An inclusive LLC answers every miss without touching the cores; a
+    non-inclusive LLC must probe every core on every miss (no
+    guarantee of absence).  QBS keeps the inclusive guarantee, so its
+    probe count stays zero while its performance matches
+    non-inclusion — the paper's whole point.
+    """
+    runner = runner or Runner()
+    rows = []
+    totals = {"non_inclusive_probes": 0, "qbs_extra_messages": 0, "instructions": 0}
+    for mix in TABLE2_MIXES:
+        ni = runner.run(mix, "non_inclusive", "none")
+        qbs = runner.run(mix, "inclusive", "qbs")
+        num_cores = len(mix.apps)
+        ni_probes = ni.llc_misses * num_cores
+        qbs_messages = (
+            qbs.traffic["qbs_query"] + qbs.traffic["back_invalidate"]
+        )
+        instructions = sum(ni.instructions)
+        rows.append(
+            [
+                mix.name,
+                ni_probes,
+                1000.0 * ni_probes / max(1, instructions),
+                qbs_messages,
+                1000.0 * qbs_messages / max(1, instructions),
+            ]
+        )
+        totals["non_inclusive_probes"] += ni_probes
+        totals["qbs_extra_messages"] += qbs_messages
+        totals["instructions"] += instructions
+    report = format_table(
+        ["mix", "NI snoop probes", "per kilo-instr", "QBS messages",
+         "per kilo-instr"],
+        rows,
+        title=(
+            "Snoop-filter study: probes a non-inclusive LLC needs vs the "
+            "messages QBS adds while keeping the filter"
+        ),
+    )
+    return {"rows": rows, "totals": totals, "report": report}

@@ -1,0 +1,46 @@
+"""Three-level cache hierarchy controllers.
+
+The hierarchy mirrors the paper's baseline (Section IV.A): per-core
+L1I/L1D and a private non-inclusive unified L2, over a shared LLC.
+Three controllers implement the three LLC policies of Figure 1:
+
+* :class:`InclusiveHierarchy` — LLC evictions back-invalidate the core
+  caches (producing *inclusion victims*); the TLA policies hook its
+  victim-selection path.
+* :class:`NonInclusiveHierarchy` — identical, minus back-invalidates.
+* :class:`ExclusiveHierarchy` — LLC hits invalidate the LLC copy, and
+  the LLC is filled only by core-cache evictions.
+
+Use :func:`build_hierarchy` to construct the right controller (with
+its TLA policy attached) from a :class:`repro.config.HierarchyConfig`.
+"""
+
+from .base import (
+    HIT_L1,
+    HIT_L2,
+    HIT_LLC,
+    HIT_MEMORY,
+    LEVEL_NAMES,
+    BaseHierarchy,
+    CoreAccessStats,
+)
+from .inclusive import InclusiveHierarchy
+from .non_inclusive import NonInclusiveHierarchy
+from .exclusive import ExclusiveHierarchy
+from .builder import build_hierarchy
+from .mshr import MSHRFile
+
+__all__ = [
+    "HIT_L1",
+    "HIT_L2",
+    "HIT_LLC",
+    "HIT_MEMORY",
+    "LEVEL_NAMES",
+    "BaseHierarchy",
+    "CoreAccessStats",
+    "InclusiveHierarchy",
+    "NonInclusiveHierarchy",
+    "ExclusiveHierarchy",
+    "build_hierarchy",
+    "MSHRFile",
+]

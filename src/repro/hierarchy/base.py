@@ -1,0 +1,355 @@
+"""Shared controller logic for all three hierarchy modes.
+
+:class:`BaseHierarchy` implements the probe order (L1 -> L2 -> LLC ->
+memory), core-cache fills and writebacks, directory maintenance,
+message accounting, and the TLA hook points.  Mode subclasses override
+only the LLC hit path, the LLC miss/fill path, and the
+eviction-side-effect path.
+
+Hit levels are returned as small ints (not objects) because the access
+loop is the simulator's hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..access import AccessType
+from ..cache import Cache, EvictedLine
+from ..coherence import Directory, MessageType, TrafficMeter
+from ..config import HierarchyConfig
+from ..errors import SimulationError
+from .levels import CoreCaches
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.tla import TLAPolicy
+
+#: access() return codes, in increasing latency order.
+HIT_L1 = 0
+HIT_L2 = 1
+HIT_LLC = 2
+HIT_MEMORY = 3
+
+LEVEL_NAMES = {HIT_L1: "l1", HIT_L2: "l2", HIT_LLC: "llc", HIT_MEMORY: "memory"}
+
+
+@dataclass
+class CoreAccessStats:
+    """Demand-access counters attributed to one core.
+
+    Only accesses issued while the core is inside its instruction
+    quota are counted (paper Section IV.B: statistics are collected
+    for the first N instructions of each application even though the
+    faster thread keeps running).
+    """
+
+    l1i_accesses: int = 0
+    l1i_misses: int = 0
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    llc_accesses: int = 0
+    llc_misses: int = 0
+    inclusion_victims: int = 0
+    eci_invalidations: int = 0
+
+    @property
+    def l1_misses(self) -> int:
+        return self.l1i_misses + self.l1d_misses
+
+    @property
+    def l1_accesses(self) -> int:
+        return self.l1i_accesses + self.l1d_accesses
+
+    def mpki(self, level: str, instructions: int) -> float:
+        """Misses per kilo-instruction at ``level`` ("l1"/"l2"/"llc")."""
+        if instructions <= 0:
+            return 0.0
+        misses = {
+            "l1": self.l1_misses,
+            "l1i": self.l1i_misses,
+            "l1d": self.l1d_misses,
+            "l2": self.l2_misses,
+            "llc": self.llc_misses,
+        }[level]
+        return 1000.0 * misses / instructions
+
+
+class BaseHierarchy:
+    """Common machinery for inclusive / non-inclusive / exclusive LLCs."""
+
+    mode = "abstract"
+
+    def __init__(self, config: HierarchyConfig) -> None:
+        self.config = config
+        self.num_cores = config.num_cores
+        self.line_shift = config.line_shift
+        self.cores: List[CoreCaches] = [
+            CoreCaches(core_id, config) for core_id in range(config.num_cores)
+        ]
+        self.llc = Cache(config.llc)
+        self.directory = Directory(config.num_cores)
+        self.traffic = TrafficMeter()
+        self.core_stats: List[CoreAccessStats] = [
+            CoreAccessStats() for _ in range(config.num_cores)
+        ]
+        #: total inclusion victims (lines invalidated in core caches by
+        #: LLC evictions), including ones past the stats quota.
+        self.total_inclusion_victims = 0
+        #: set by the exclusive mode when an invalidated-on-hit LLC copy
+        #: was dirty, so the dirty bit migrates into the L2 fill.
+        self._fill_dirty = False
+        #: observers of cold-path events (LLC fills/evictions and
+        #: inclusion victims); see :mod:`repro.analysis`.
+        self._observers: List[object] = []
+        self.tla: "TLAPolicy" = _make_none_policy()
+        self.tla.attach(self)
+
+    def add_observer(self, observer: object) -> None:
+        """Attach an analysis observer (see :mod:`repro.analysis`).
+
+        Observers may implement any of ``on_llc_fill(line_addr)``,
+        ``on_llc_eviction(line_addr, dirty)`` and
+        ``on_inclusion_victim(core_id, line_addr)``; missing methods
+        are skipped.  Only cold-path events are observed, so
+        observation cost scales with the miss rate, not the access
+        rate.
+        """
+        self._observers.append(observer)
+
+    def _notify(self, method: str, *args) -> None:
+        for observer in self._observers:
+            callback = getattr(observer, method, None)
+            if callback is not None:
+                callback(*args)
+
+    # -- TLA policy management -------------------------------------------------
+    def attach_tla(self, policy: "TLAPolicy") -> None:
+        """Install a TLA policy; it hooks victim selection and hit events."""
+        self.tla = policy
+        policy.attach(self)
+
+    # -- main demand path --------------------------------------------------------
+    def access(
+        self,
+        core_id: int,
+        address: int,
+        kind: AccessType = AccessType.LOAD,
+        record_stats: bool = True,
+    ) -> int:
+        """Issue one demand access; returns the hit level (HIT_*)."""
+        line_addr = address >> self.line_shift
+        core = self.cores[core_id]
+        stats = self.core_stats[core_id] if record_stats else None
+        is_ifetch = kind is AccessType.IFETCH
+        is_write = kind is AccessType.STORE
+
+        # L1
+        l1 = core.l1i if is_ifetch else core.l1d
+        if stats is not None:
+            if is_ifetch:
+                stats.l1i_accesses += 1
+            else:
+                stats.l1d_accesses += 1
+        if l1.access(line_addr, write=is_write):
+            self.tla.on_core_cache_hit(
+                core_id, "il1" if is_ifetch else "dl1", line_addr
+            )
+            return HIT_L1
+        if stats is not None:
+            if is_ifetch:
+                stats.l1i_misses += 1
+            else:
+                stats.l1d_misses += 1
+
+        # L2
+        if stats is not None:
+            stats.l2_accesses += 1
+        if core.l2.access(line_addr):
+            self._fill_core_l1(core, line_addr, is_ifetch, is_write)
+            self.tla.on_core_cache_hit(core_id, "l2", line_addr)
+            return HIT_L2
+        if stats is not None:
+            stats.l2_misses += 1
+
+        # LLC
+        self.traffic.record(MessageType.LLC_REQUEST)
+        if stats is not None:
+            stats.llc_accesses += 1
+        level = self._llc_demand(core_id, line_addr, stats)
+
+        # Fill the L1 on the way back; the victim L2 is filled by L1
+        # spills, not by demand fills (see CoreCaches.fill_l1).  An
+        # exclusive LLC hands any dirty state from its invalidated
+        # copy to the incoming L1 line.
+        fill_dirty = self._fill_dirty
+        self._fill_dirty = False
+        self._fill_core_l1(core, line_addr, is_ifetch, is_write or fill_dirty)
+        self.directory.on_fill_to_core(line_addr, core_id)
+        return level
+
+    def prefetch(self, core_id: int, address: int) -> bool:
+        """Prefetch a line into ``core_id``'s L2 (trained on L2 misses).
+
+        Returns True if a fill actually happened (the line was not
+        already L2-resident).  Prefetches follow the demand fill path
+        through the LLC so inclusion is never violated, but are not
+        attributed to demand statistics.
+        """
+        line_addr = address >> self.line_shift
+        core = self.cores[core_id]
+        if core.l2.contains(line_addr):
+            return False
+        self.traffic.record(MessageType.PREFETCH)
+        self._llc_demand(core_id, line_addr, None)
+        self._fill_core_l2(core, line_addr)
+        self.directory.on_fill_to_core(line_addr, core_id)
+        return True
+
+    # -- mode-specific pieces ------------------------------------------------------
+    def _llc_demand(
+        self, core_id: int, line_addr: int, stats: Optional[CoreAccessStats]
+    ) -> int:
+        """Handle the access once it reaches the LLC.
+
+        Returns HIT_LLC or HIT_MEMORY; must leave the hierarchy in a
+        state where filling the core caches with ``line_addr`` is
+        legal for the mode.
+        """
+        raise NotImplementedError
+
+    def _on_llc_eviction(self, evicted: EvictedLine) -> None:
+        """Apply mode-specific side effects of an LLC eviction."""
+        raise NotImplementedError
+
+    # -- core-cache fills with writeback plumbing -------------------------------------
+    def _fill_core_l1(
+        self, core: CoreCaches, line_addr: int, is_ifetch: bool, is_write: bool
+    ) -> None:
+        l1_victim = core.fill_l1(line_addr, is_ifetch, dirty=is_write)
+        if l1_victim is not None:
+            self._spill_to_l2(core, l1_victim)
+
+    def _spill_to_l2(self, core: CoreCaches, victim: EvictedLine) -> None:
+        """Victim-allocate an L1 eviction into the core's L2."""
+        displaced = core.spill_into_l2(victim)
+        if displaced is not None:
+            self._handle_l2_victim(core, displaced)
+
+    def _fill_core_l2(self, core: CoreCaches, line_addr: int) -> None:
+        dirty = self._fill_dirty
+        self._fill_dirty = False
+        displaced = core.fill_l2(line_addr, dirty=dirty)
+        if displaced is not None:
+            self._handle_l2_victim(core, displaced)
+
+    def _handle_l2_victim(self, core: CoreCaches, victim: EvictedLine) -> None:
+        """Default (inclusive / non-inclusive) L2 victim handling.
+
+        Dirty victims write back into the LLC; clean victims vanish.
+        If the LLC no longer holds a dirty victim (possible without
+        inclusion), the data goes to memory.
+        """
+        if not victim.dirty:
+            return
+        if self.llc.set_dirty(victim.line_addr):
+            self.traffic.record(MessageType.WRITEBACK)
+        else:
+            self._writeback_to_memory(victim)
+
+    def _writeback_to_memory(self, victim: EvictedLine) -> None:
+        self.traffic.record(MessageType.WRITEBACK)
+
+    # -- LLC fill with TLA victim selection ----------------------------------------
+    def _fill_llc(self, core_id: int, line_addr: int) -> None:
+        """Insert ``line_addr`` into the LLC using the TLA victim flow."""
+        set_index = self.llc.set_index_of(line_addr)
+        if self.llc.contains(line_addr):
+            raise SimulationError("LLC fill for already-resident line")
+        way = self.llc.find_invalid_way(set_index)
+        victim: Optional[EvictedLine] = None
+        if way is None:
+            way = self.tla.select_llc_victim(core_id, set_index)
+            victim = self.llc.evict_way(set_index, way)
+        self.llc.fill_way(set_index, way, line_addr)
+        if self._observers:
+            self._notify("on_llc_fill", line_addr)
+            if victim is not None:
+                self._notify("on_llc_eviction", victim.line_addr, victim.dirty)
+        if victim is not None:
+            self._on_llc_eviction(victim)
+        self.tla.after_llc_miss_fill(core_id, set_index, way, line_addr)
+
+    # -- shared back-invalidate machinery (inclusive mode + ECI) ---------------------
+    def _back_invalidate(
+        self,
+        line_addr: int,
+        message: MessageType,
+        record_inclusion_victim: bool,
+        dirty_to_llc: bool = False,
+    ) -> bool:
+        """Invalidate core copies of ``line_addr`` via the directory.
+
+        Sends one message per possible sharer and (optionally) counts
+        inclusion victims against the cores that actually held the
+        line.  Dirty core data normally goes to memory (the LLC copy
+        is leaving too); with ``dirty_to_llc`` — the ECI case, where
+        the line stays LLC-resident — it is merged into the LLC copy
+        instead.  Returns True if any core actually held a copy.
+        """
+        any_present = False
+        for sharer in self.directory.sharers(line_addr):
+            self.traffic.record(message)
+            present, dirty = self.cores[sharer].invalidate_all(line_addr)
+            self.directory.on_core_invalidated(line_addr, sharer)
+            if not present:
+                continue
+            any_present = True
+            if dirty:
+                if dirty_to_llc and self.llc.set_dirty(line_addr):
+                    self.traffic.record(MessageType.WRITEBACK)
+                else:
+                    self._writeback_to_memory(EvictedLine(line_addr, True))
+            if record_inclusion_victim:
+                self.total_inclusion_victims += 1
+                self.core_stats[sharer].inclusion_victims += 1
+                if self._observers:
+                    self._notify("on_inclusion_victim", sharer, line_addr)
+            else:
+                self.core_stats[sharer].eci_invalidations += 1
+        return any_present
+
+    # -- residency queries (QBS) -------------------------------------------------------
+    def line_in_core_caches(
+        self, line_addr: int, kinds: Sequence[str], count_queries: bool = True
+    ) -> bool:
+        """Is the line resident in any of the given core-cache kinds?
+
+        Queries only cores the directory marks as possible sharers and
+        charges one QBS_QUERY message per probed core.
+        """
+        for sharer in self.directory.sharers(line_addr):
+            if count_queries:
+                self.traffic.record(MessageType.QBS_QUERY)
+            if self.cores[sharer].holds(line_addr, kinds):
+                return True
+        return False
+
+    # -- invariant checks (tests call these) ---------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise if the mode's structural invariant is violated."""
+
+    def total_instructions_quota_hint(self) -> None:  # pragma: no cover
+        """Placeholder for future use; quota lives in the CPU model."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} cores={self.num_cores} llc={self.llc!r}>"
+
+
+def _make_none_policy() -> "TLAPolicy":
+    """Late import to avoid the hierarchy<->core package cycle."""
+    from ..core.tla import TLAPolicy
+
+    return TLAPolicy()

@@ -1,0 +1,76 @@
+"""Miss Status Holding Register (MSHR) occupancy model.
+
+The paper models interconnect bandwidth through MSHR contention: "a
+fixed number of MSHRs ... Contention for the MSHRs models the
+increase in latency due to additional traffic" (Section IV.A).  The
+timing model allocates an entry per outstanding memory miss; when all
+entries are busy, a new miss stalls until the oldest completes.
+
+This is a purely temporal model — the functional hierarchy resolves
+misses instantly — so it only needs a multiset of completion times.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class MSHRStats:
+    """Occupancy and stall accounting for one MSHR file."""
+
+    allocations: int = 0
+    stalls: int = 0
+    stall_cycles: int = 0
+    peak_occupancy: int = 0
+
+
+class MSHRFile:
+    """Tracks outstanding-miss completion times with a min-heap."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries <= 0:
+            raise ConfigurationError("MSHR file needs at least one entry")
+        self.num_entries = num_entries
+        self._completions: List[int] = []
+        self.stats = MSHRStats()
+
+    def allocate(self, now: int, latency: int) -> int:
+        """Allocate an entry for a miss issued at ``now``.
+
+        Returns the cycle the miss was actually *issued* (>= now): if
+        every entry is busy, issue is delayed until the earliest
+        completion frees one.  The caller adds ``latency`` to the
+        returned issue cycle to get the data-return time.
+        """
+        self._drain(now)
+        issue = now
+        if len(self._completions) >= self.num_entries:
+            earliest = heapq.heappop(self._completions)
+            if earliest > now:
+                issue = earliest
+                self.stats.stalls += 1
+                self.stats.stall_cycles += earliest - now
+        heapq.heappush(self._completions, issue + latency)
+        self.stats.allocations += 1
+        occupancy = len(self._completions)
+        if occupancy > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = occupancy
+        return issue
+
+    def occupancy(self, now: int) -> int:
+        """Number of entries still busy at ``now``."""
+        self._drain(now)
+        return len(self._completions)
+
+    def _drain(self, now: int) -> None:
+        while self._completions and self._completions[0] <= now:
+            heapq.heappop(self._completions)
+
+    def reset(self) -> None:
+        self._completions.clear()
+        self.stats = MSHRStats()

@@ -1,0 +1,76 @@
+"""Plain-text report formatting for experiment drivers.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that output aligned and
+readable without pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered: List[List[str]] = [
+        [_render(cell, float_format) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_scurve(
+    values: Sequence[float],
+    label: str,
+    width: int = 60,
+    center: float = 1.0,
+) -> str:
+    """Render a sorted series as a compact textual s-curve.
+
+    The paper's s-curves plot per-workload improvements sorted
+    ascending; here each value becomes one row of a horizontal bar
+    chart around ``center`` (1.0 = no change).
+    """
+    if not values:
+        return f"{label}: (no data)"
+    ordered = sorted(values)
+    low = min(ordered[0], center)
+    high = max(ordered[-1], center)
+    span = max(high - low, 1e-9)
+    lines = [f"s-curve: {label}  (n={len(ordered)}, "
+             f"min={ordered[0]:.3f}, median={ordered[len(ordered) // 2]:.3f}, "
+             f"max={ordered[-1]:.3f})"]
+    for value in ordered:
+        position = int((value - low) / span * (width - 1))
+        center_pos = int((center - low) / span * (width - 1))
+        row = [" "] * width
+        row[center_pos] = "|"
+        row[position] = "*"
+        lines.append("".join(row) + f"  {value:.3f}")
+    return "\n".join(lines)
+
+
+def _render(cell: object, float_format: str) -> str:
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)

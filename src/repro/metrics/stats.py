@@ -1,0 +1,28 @@
+"""Cache-performance metrics: MPKI and miss reduction."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+def mpki(misses: int, instructions: int) -> float:
+    """Misses per thousand instructions."""
+    if instructions <= 0:
+        raise ConfigurationError("instruction count must be positive")
+    if misses < 0:
+        raise ConfigurationError("miss count must be non-negative")
+    return 1000.0 * misses / instructions
+
+
+def miss_reduction(baseline_misses: int, policy_misses: int) -> float:
+    """Fractional reduction in misses vs a baseline (Figure 8's metric).
+
+    Positive values mean the policy misses *less* than the baseline;
+    e.g. 0.096 reproduces the paper's "QBS reduces LLC misses by
+    9.6 %" claim.
+    """
+    if baseline_misses < 0 or policy_misses < 0:
+        raise ConfigurationError("miss counts must be non-negative")
+    if baseline_misses == 0:
+        return 0.0
+    return (baseline_misses - policy_misses) / baseline_misses

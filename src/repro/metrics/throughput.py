@@ -1,0 +1,63 @@
+"""Multi-programmed performance metrics (paper footnote 5)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+
+def throughput(ipcs: Sequence[float]) -> float:
+    """Plain sum-of-IPCs throughput."""
+    if not ipcs:
+        raise ConfigurationError("throughput needs at least one IPC")
+    return float(sum(ipcs))
+
+
+def normalized_throughput(
+    ipcs: Sequence[float], baseline_ipcs: Sequence[float]
+) -> float:
+    """Throughput relative to a baseline run of the same mix."""
+    base = throughput(baseline_ipcs)
+    if base <= 0:
+        raise ConfigurationError("baseline throughput must be positive")
+    return throughput(ipcs) / base
+
+
+def weighted_speedup(
+    ipcs: Sequence[float], isolated_ipcs: Sequence[float]
+) -> float:
+    """Sum of per-application speedups over their isolated runs."""
+    _check_pairs(ipcs, isolated_ipcs)
+    return sum(ipc / iso for ipc, iso in zip(ipcs, isolated_ipcs))
+
+
+def hmean_fairness(ipcs: Sequence[float], isolated_ipcs: Sequence[float]) -> float:
+    """Harmonic mean of normalised IPCs (balances throughput/fairness)."""
+    _check_pairs(ipcs, isolated_ipcs)
+    total = 0.0
+    for ipc, iso in zip(ipcs, isolated_ipcs):
+        if ipc <= 0:
+            raise ConfigurationError("IPC values must be positive")
+        total += iso / ipc
+    return len(ipcs) / total
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; the paper's "All" bars aggregate with this."""
+    if not values:
+        raise ConfigurationError("geomean needs at least one value")
+    log_sum = 0.0
+    for value in values:
+        if value <= 0:
+            raise ConfigurationError("geomean requires positive values")
+        log_sum += math.log(value)
+    return math.exp(log_sum / len(values))
+
+
+def _check_pairs(ipcs: Sequence[float], isolated: Sequence[float]) -> None:
+    if not ipcs or len(ipcs) != len(isolated):
+        raise ConfigurationError("need matching, non-empty IPC sequences")
+    if any(value <= 0 for value in isolated):
+        raise ConfigurationError("isolated IPCs must be positive")

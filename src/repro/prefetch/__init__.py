@@ -1,0 +1,32 @@
+"""Hardware prefetcher models.
+
+The paper's baseline includes "a stream prefetcher that trains on L2
+cache misses and prefetches lines into the L2 cache" with 16 stream
+detectors (Section IV.A).  :class:`StreamPrefetcher` reproduces that
+design; :class:`NextLinePrefetcher` is a simpler alternative behind
+the same ``train()`` interface.  Use :func:`make_prefetcher` to build
+one from a :class:`repro.config.PrefetchConfig`.
+"""
+
+from ..config import PrefetchConfig
+from ..errors import ConfigurationError
+from .nextline import NextLinePrefetcher
+from .stream import StreamDetector, StreamPrefetcher
+
+
+def make_prefetcher(config: PrefetchConfig, line_shift: int):
+    """Instantiate the prefetcher selected by ``config.kind``."""
+    if config.kind == "stream":
+        return StreamPrefetcher(config, line_shift)
+    if config.kind == "nextline":
+        return NextLinePrefetcher(config, line_shift)
+    raise ConfigurationError(f"unknown prefetcher kind {config.kind!r}")
+
+
+__all__ = [
+    "StreamDetector",
+    "StreamPrefetcher",
+    "NextLinePrefetcher",
+    "make_prefetcher",
+    "PrefetchConfig",
+]

@@ -1,0 +1,38 @@
+"""Next-N-line prefetcher — the simplest hardware prefetcher.
+
+On every training miss it prefetches the following ``degree`` lines.
+Cheaper than the stream prefetcher (no detector state) but noisier:
+it fires on random misses too, so it trades accuracy for coverage.
+Included as a second prefetcher implementation behind the same
+``train()`` interface; select it with
+``PrefetchConfig(kind="nextline")``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import PrefetchConfig
+
+
+class NextLinePrefetcher:
+    """Prefetch the next ``degree`` sequential lines on every miss."""
+
+    def __init__(self, config: PrefetchConfig, line_shift: int) -> None:
+        self.config = config
+        self.line_shift = line_shift
+        self.prefetches_issued = 0
+        self._last_line = -1
+
+    def train(self, address: int) -> List[int]:
+        """Feed one training miss; returns byte addresses to prefetch."""
+        line = address >> self.line_shift
+        if line == self._last_line:
+            return []
+        self._last_line = line
+        prefetches = [
+            (line + i) << self.line_shift
+            for i in range(1, self.config.degree + 1)
+        ]
+        self.prefetches_issued += len(prefetches)
+        return prefetches

@@ -1,0 +1,102 @@
+"""Stream prefetcher with a fixed pool of stream detectors.
+
+Classic design: each detector watches one region of the miss stream.
+A detector *trains* when it sees misses to nearby, monotonically
+advancing lines; once confirmed, it runs ``distance`` lines ahead of
+the demand stream and issues ``degree`` prefetches per triggering
+miss.  Detectors are allocated LRU when a miss matches no existing
+stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import PrefetchConfig
+
+
+class StreamDetector:
+    """State of one tracked stream."""
+
+    __slots__ = ("base_line", "last_line", "direction", "confidence", "next_prefetch")
+
+    def __init__(self, line: int) -> None:
+        self.base_line = line
+        self.last_line = line
+        self.direction = 0  # +1 ascending, -1 descending, 0 untrained
+        self.confidence = 0
+        self.next_prefetch = line
+
+    def matches(self, line: int, window: int) -> bool:
+        """Is ``line`` plausibly part of this stream?"""
+        return abs(line - self.last_line) <= window
+
+    def observe(self, line: int) -> bool:
+        """Feed a miss; returns True once the stream is confirmed."""
+        delta = line - self.last_line
+        if delta == 0:
+            return self.confidence >= 2
+        direction = 1 if delta > 0 else -1
+        if self.direction in (0, direction):
+            self.direction = direction
+            self.confidence += 1
+        else:
+            # Direction flip: retrain from here.
+            self.direction = direction
+            self.confidence = 1
+        self.last_line = line
+        if self.confidence == 2:
+            self.next_prefetch = line + direction
+        return self.confidence >= 2
+
+
+class StreamPrefetcher:
+    """16-detector stream prefetcher trained on L2 misses."""
+
+    def __init__(self, config: PrefetchConfig, line_shift: int) -> None:
+        self.config = config
+        self.line_shift = line_shift
+        # LRU-ordered pool: most recently used detector last.
+        self._detectors: List[StreamDetector] = []
+        self.prefetches_issued = 0
+        self.streams_allocated = 0
+
+    def train(self, address: int) -> List[int]:
+        """Feed one L2-miss address; returns byte addresses to prefetch."""
+        line = address >> self.line_shift
+        detector = self._find(line)
+        if detector is None:
+            detector = self._allocate(line)
+            return []
+        # Move to MRU position.
+        self._detectors.remove(detector)
+        self._detectors.append(detector)
+        if not detector.observe(line):
+            return []
+        prefetches: List[int] = []
+        target_front = line + detector.direction * self.config.distance
+        for _ in range(self.config.degree):
+            candidate = detector.next_prefetch
+            if detector.direction > 0 and candidate > target_front:
+                break
+            if detector.direction < 0 and candidate < target_front:
+                break
+            prefetches.append(candidate << self.line_shift)
+            detector.next_prefetch = candidate + detector.direction
+        self.prefetches_issued += len(prefetches)
+        return prefetches
+
+    def _find(self, line: int) -> Optional[StreamDetector]:
+        window = self.config.train_window
+        for detector in reversed(self._detectors):
+            if detector.matches(line, window):
+                return detector
+        return None
+
+    def _allocate(self, line: int) -> StreamDetector:
+        detector = StreamDetector(line)
+        self._detectors.append(detector)
+        self.streams_allocated += 1
+        if len(self._detectors) > self.config.num_streams:
+            self._detectors.pop(0)  # evict the LRU stream
+        return detector

@@ -1,0 +1,95 @@
+"""CLI for generating and inspecting trace files.
+
+Usage::
+
+    python -m repro.workloads list
+    python -m repro.workloads generate lib --records 50000 --out lib.trace
+    python -m repro.workloads inspect lib.trace
+
+``generate`` materialises a synthetic benchmark's infinite stream into
+the portable text format of :mod:`repro.workloads.trace`, so traces
+can be archived, diffed, or replayed by external tools; ``inspect``
+prints summary statistics of any trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import List, Optional
+
+from ..access import AccessType
+from ..config import baseline_hierarchy
+from .spec import SPEC_APPS, app_names, app_profile, app_trace
+from .trace import instruction_count, load_trace, save_trace, take
+
+
+def _cmd_list() -> int:
+    print(f"{'name':5} {'full name':12} {'category':8}")
+    for name in app_names():
+        profile = app_profile(name)
+        print(f"{name:5} {profile.full_name:12} {profile.category:8}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.app not in SPEC_APPS:
+        print(f"unknown app {args.app!r}; try 'list'", file=sys.stderr)
+        return 1
+    reference = baseline_hierarchy(2, scale=args.scale)
+    trace = app_trace(args.app, reference=reference, core_id=args.core)
+    records = take(trace, args.records)
+    count = save_trace(records, args.out)
+    instructions = instruction_count(records)
+    print(
+        f"wrote {count} records ({instructions} instructions) for "
+        f"{args.app} to {args.out}"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    records = load_trace(args.trace)
+    if not records:
+        print("empty trace")
+        return 1
+    instructions = instruction_count(records)
+    kinds = Counter(record.kind for record in records)
+    lines = {record.address >> 6 for record in records}
+    print(f"records:            {len(records)}")
+    print(f"instructions:       {instructions}")
+    print(f"records/1k instr:   {1000.0 * len(records) / instructions:.1f}")
+    for kind in AccessType:
+        share = kinds.get(kind, 0) / len(records)
+        print(f"  {kind.name.lower():7}: {kinds.get(kind, 0)} ({share:.1%})")
+    print(f"distinct 64B lines: {len(lines)}")
+    print(f"footprint:          {len(lines) * 64 / 1024:.1f} KiB")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the synthetic benchmarks")
+    generate = sub.add_parser("generate", help="materialise a trace file")
+    generate.add_argument("app", help="benchmark short name (see 'list')")
+    generate.add_argument("--records", type=int, default=50_000)
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--scale", type=float, default=0.0625)
+    generate.add_argument("--core", type=int, default=0)
+    inspect = sub.add_parser("inspect", help="summarise a trace file")
+    inspect.add_argument("trace")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "generate":
+        return _cmd_generate(args)
+    return _cmd_inspect(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

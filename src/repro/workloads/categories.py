@@ -1,0 +1,29 @@
+"""Working-set categories from paper Section IV.B."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+#: working set fits in the core caches (L1/L2).
+CATEGORY_CCF = "CCF"
+#: working set fits in the last-level cache.
+CATEGORY_LLCF = "LLCF"
+#: working set exceeds the last-level cache.
+CATEGORY_LLCT = "LLCT"
+
+CATEGORIES = (CATEGORY_CCF, CATEGORY_LLCF, CATEGORY_LLCT)
+
+
+def category_of(app_name: str) -> str:
+    """Category of a Table I benchmark (by its 3-letter short name)."""
+    from .spec import app_profile  # local import: spec depends on this module
+
+    return app_profile(app_name).category
+
+
+def validate_category(category: str) -> str:
+    if category not in CATEGORIES:
+        raise ConfigurationError(
+            f"unknown category {category!r}; expected one of {CATEGORIES}"
+        )
+    return category

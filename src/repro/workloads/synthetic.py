@@ -1,0 +1,387 @@
+"""Synthetic trace generators.
+
+The generic building block is :func:`mixture_trace`: an infinite,
+deterministic stream of :class:`~repro.workloads.trace.TraceRecord`
+built from
+
+* an instruction-fetch stream walking a code region (sequential with
+  occasional branches), and
+* a data stream drawn from a weighted mixture of *regions*, each of
+  which is accessed randomly (working-set behaviour) or sequentially
+  (streaming behaviour).
+
+Region sizes are expressed in cache lines, so callers size them
+relative to a reference hierarchy and the resulting trace lands in a
+chosen cache level by construction.  Simpler single-pattern
+generators (:func:`looping_trace`, :func:`strided_trace`,
+:func:`random_trace`) are provided for tests and examples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..access import AccessType
+from ..errors import TraceError
+from .trace import TraceRecord
+
+try:  # numpy accelerates batch generation ~4x; plain Python works too.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+#: Default byte bases keeping code, and each data region, far apart.
+CODE_BASE = 0x0000_1000_0000
+DATA_BASE = 0x0010_0000_0000
+REGION_STRIDE = 0x0001_0000_0000
+
+
+def _exponential_mean_for_floored(target_mean: float) -> float:
+    """Exponential mean whose *floored* samples average ``target_mean``.
+
+    Gaps are integer instruction counts drawn as ``int(Exp(m))``;
+    flooring shrinks the mean (E[floor(Exp(m))] = 1/(e^(1/m)-1)), so
+    the continuous mean is inflated to compensate and instruction
+    rates land on target.
+    """
+    import math
+
+    if target_mean <= 0:
+        return 0.0
+    return 1.0 / math.log(1.0 + 1.0 / target_mean)
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One component of a data-access mixture.
+
+    Attributes:
+        lines: region size in cache lines (must be positive).
+        weight: relative probability of a data access landing here.
+        sequential: walk the region line by line (streaming) instead
+            of sampling uniformly (working-set reuse).
+        burst: consecutive accesses issued to the same line each time
+            the region is selected — models spatial locality within a
+            line (several elements touched per visit), which makes the
+            visit's later accesses L1 hits.
+    """
+
+    lines: int
+    weight: float
+    sequential: bool = False
+    burst: int = 1
+
+    def __post_init__(self) -> None:
+        if self.lines <= 0:
+            raise TraceError("region must contain at least one line")
+        if self.weight < 0:
+            raise TraceError("region weight must be non-negative")
+        if self.burst <= 0:
+            raise TraceError("burst must be positive")
+
+
+@dataclass(frozen=True)
+class MixtureProfile:
+    """Full parameterisation of :func:`mixture_trace`.
+
+    Attributes:
+        code_lines: instruction-footprint size in lines.
+        regions: the data mixture.
+        data_per_instruction: loads+stores per instruction (~0.375 for
+            SPEC-like code).
+        ifetch_per_instruction: new-line fetch rate; 1/16 models 64 B
+            lines of 4 B instructions.
+        write_fraction: fraction of data accesses that are stores.
+        branch_probability: chance an ifetch jumps to a random code
+            line instead of the next one.
+        line_size: bytes per line (addresses are line-aligned bytes).
+    """
+
+    code_lines: int
+    regions: Tuple[RegionSpec, ...]
+    data_per_instruction: float = 0.375
+    ifetch_per_instruction: float = 1.0 / 16.0
+    write_fraction: float = 0.3
+    branch_probability: float = 0.02
+    line_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.code_lines <= 0:
+            raise TraceError("code region must contain at least one line")
+        if not self.regions:
+            raise TraceError("mixture needs at least one data region")
+        if sum(r.weight for r in self.regions) <= 0:
+            raise TraceError("mixture weights must sum to a positive value")
+        if not 0 < self.data_per_instruction <= 1:
+            raise TraceError("data_per_instruction must be in (0, 1]")
+        if not 0 < self.ifetch_per_instruction <= 1:
+            raise TraceError("ifetch_per_instruction must be in (0, 1]")
+        if not 0 <= self.write_fraction <= 1:
+            raise TraceError("write_fraction must be in [0, 1]")
+
+
+def mixture_trace(
+    profile: MixtureProfile,
+    seed: int = 0,
+    base_address: int = 0,
+    engine: str = "auto",
+) -> Iterator[TraceRecord]:
+    """Infinite deterministic trace following ``profile``.
+
+    ``base_address`` shifts the whole address space (give each core a
+    disjoint base via
+    :func:`repro.workloads.trace.core_address_offset`).
+
+    ``engine`` selects the generator implementation: ``"numpy"``
+    (batched, ~4x faster), ``"python"`` (stdlib only), or ``"auto"``
+    (numpy when available).  Both engines are deterministic for a
+    given seed, but their streams differ from each other.
+    """
+    if engine not in ("auto", "numpy", "python"):
+        raise TraceError(f"unknown engine {engine!r}")
+    if engine == "numpy" and _np is None:
+        raise TraceError("numpy engine requested but numpy is not installed")
+    if engine in ("auto", "numpy") and _np is not None:
+        return _mixture_trace_numpy(profile, seed, base_address)
+    return _mixture_trace_python(profile, seed, base_address)
+
+
+def _mixture_trace_python(
+    profile: MixtureProfile,
+    seed: int,
+    base_address: int,
+) -> Iterator[TraceRecord]:
+    """Reference stdlib implementation of :func:`mixture_trace`."""
+    rng = random.Random(seed)
+    line = profile.line_size
+    code_base = base_address + CODE_BASE
+    region_bases = [
+        base_address + DATA_BASE + i * REGION_STRIDE
+        for i in range(len(profile.regions))
+    ]
+    # Cumulative weights for component selection.
+    total_weight = sum(r.weight for r in profile.regions)
+    cumulative: List[float] = []
+    acc = 0.0
+    for region in profile.regions:
+        acc += region.weight / total_weight
+        cumulative.append(acc)
+    cumulative[-1] = 1.0  # guard against float drift
+
+    records_per_instruction = (
+        profile.data_per_instruction + profile.ifetch_per_instruction
+    )
+    mean_gap = max(0.0, 1.0 / records_per_instruction - 1.0)
+    exp_mean = _exponential_mean_for_floored(mean_gap)
+    p_ifetch = profile.ifetch_per_instruction / records_per_instruction
+
+    code_cursor = 0
+    stream_cursors = [0] * len(profile.regions)
+    burst_address = 0
+    burst_left = 0
+
+    while True:
+        gap = int(rng.expovariate(1.0 / exp_mean)) if exp_mean > 0 else 0
+        if rng.random() < p_ifetch:
+            if rng.random() < profile.branch_probability:
+                code_cursor = rng.randrange(profile.code_lines)
+            address = code_base + code_cursor * line
+            code_cursor = (code_cursor + 1) % profile.code_lines
+            yield TraceRecord(gap, AccessType.IFETCH, address)
+            continue
+        if burst_left > 0:
+            burst_left -= 1
+            address = burst_address
+        else:
+            pick = rng.random()
+            index = 0
+            while cumulative[index] < pick:
+                index += 1
+            region = profile.regions[index]
+            if region.sequential:
+                offset = stream_cursors[index]
+                stream_cursors[index] = (offset + 1) % region.lines
+            else:
+                offset = rng.randrange(region.lines)
+            address = region_bases[index] + offset * line
+            if region.burst > 1:
+                burst_address = address
+                burst_left = region.burst - 1
+        kind = (
+            AccessType.STORE
+            if rng.random() < profile.write_fraction
+            else AccessType.LOAD
+        )
+        yield TraceRecord(gap, kind, address)
+
+
+def _mixture_trace_numpy(
+    profile: MixtureProfile,
+    seed: int,
+    base_address: int,
+) -> Iterator[TraceRecord]:
+    """Batched numpy implementation of :func:`mixture_trace`.
+
+    Draws random variates in blocks of 4096 and assembles records with
+    plain integer arithmetic; behaviourally equivalent to the Python
+    engine (same distributions), though the exact streams differ.
+    """
+    rng = _np.random.RandomState(seed & 0x7FFF_FFFF)
+    line = profile.line_size
+    code_base = base_address + CODE_BASE
+    regions = profile.regions
+    region_bases = [
+        base_address + DATA_BASE + i * REGION_STRIDE for i in range(len(regions))
+    ]
+    region_lines = [r.lines for r in regions]
+    region_sequential = [r.sequential for r in regions]
+    region_burst = [r.burst for r in regions]
+
+    total_weight = sum(r.weight for r in regions)
+    cumulative = _np.cumsum([r.weight / total_weight for r in regions])
+    cumulative[-1] = 1.0
+
+    records_per_instruction = (
+        profile.data_per_instruction + profile.ifetch_per_instruction
+    )
+    mean_gap = max(0.0, 1.0 / records_per_instruction - 1.0)
+    exp_mean = _exponential_mean_for_floored(mean_gap)
+    p_ifetch = profile.ifetch_per_instruction / records_per_instruction
+    p_branch = profile.branch_probability
+    p_write = profile.write_fraction
+    code_lines = profile.code_lines
+
+    ifetch = AccessType.IFETCH
+    load = AccessType.LOAD
+    store = AccessType.STORE
+
+    code_cursor = 0
+    stream_cursors = [0] * len(regions)
+    burst_address = 0
+    burst_left = 0
+    batch = 4096
+
+    while True:
+        if exp_mean > 0:
+            gaps = rng.exponential(exp_mean, batch).astype(_np.int64).tolist()
+        else:
+            gaps = [0] * batch
+        u_type = rng.random_sample(batch).tolist()
+        u_branch = rng.random_sample(batch).tolist()
+        picks = _np.searchsorted(
+            cumulative, rng.random_sample(batch), side="left"
+        ).tolist()
+        u_offset = rng.random_sample(batch).tolist()
+        u_write = rng.random_sample(batch).tolist()
+
+        for i in range(batch):
+            if u_type[i] < p_ifetch:
+                if u_branch[i] < p_branch:
+                    code_cursor = int(u_offset[i] * code_lines)
+                address = code_base + code_cursor * line
+                code_cursor += 1
+                if code_cursor >= code_lines:
+                    code_cursor = 0
+                yield TraceRecord(gaps[i], ifetch, address)
+                continue
+            if burst_left > 0:
+                burst_left -= 1
+                address = burst_address
+            else:
+                index = picks[i]
+                if region_sequential[index]:
+                    offset = stream_cursors[index]
+                    stream_cursors[index] = (offset + 1) % region_lines[index]
+                else:
+                    offset = int(u_offset[i] * region_lines[index])
+                address = region_bases[index] + offset * line
+                if region_burst[index] > 1:
+                    burst_address = address
+                    burst_left = region_burst[index] - 1
+            kind = store if u_write[i] < p_write else load
+            yield TraceRecord(gaps[i], kind, address)
+
+
+# -- simple single-pattern generators (tests, examples, figure 3) -------------
+
+
+def looping_trace(
+    lines: int,
+    line_size: int = 64,
+    kind: AccessType = AccessType.LOAD,
+    gap: int = 0,
+    base_address: int = 0,
+) -> Iterator[TraceRecord]:
+    """Loop over ``lines`` consecutive cache lines forever."""
+    if lines <= 0:
+        raise TraceError("looping_trace needs at least one line")
+    cursor = 0
+    while True:
+        yield TraceRecord(gap, kind, base_address + cursor * line_size)
+        cursor = (cursor + 1) % lines
+
+
+def strided_trace(
+    stride_bytes: int,
+    count: Optional[int] = None,
+    line_size: int = 64,
+    kind: AccessType = AccessType.LOAD,
+    gap: int = 0,
+    base_address: int = 0,
+) -> Iterator[TraceRecord]:
+    """Monotonic strided stream; infinite when ``count`` is None."""
+    if stride_bytes == 0:
+        raise TraceError("stride must be non-zero")
+    index = 0
+    while count is None or index < count:
+        yield TraceRecord(gap, kind, base_address + index * stride_bytes)
+        index += 1
+
+
+def random_trace(
+    lines: int,
+    seed: int = 0,
+    line_size: int = 64,
+    write_fraction: float = 0.0,
+    gap: int = 0,
+    base_address: int = 0,
+) -> Iterator[TraceRecord]:
+    """Uniform random accesses over a region of ``lines`` lines."""
+    if lines <= 0:
+        raise TraceError("random_trace needs at least one line")
+    rng = random.Random(seed)
+    while True:
+        address = base_address + rng.randrange(lines) * line_size
+        kind = (
+            AccessType.STORE if rng.random() < write_fraction else AccessType.LOAD
+        )
+        yield TraceRecord(gap, kind, address)
+
+
+def interleaved(
+    traces: Sequence[Iterator[TraceRecord]], weights: Optional[Sequence[float]] = None,
+    seed: int = 0,
+) -> Iterator[TraceRecord]:
+    """Randomly interleave several traces (weighted, deterministic)."""
+    if not traces:
+        raise TraceError("need at least one trace to interleave")
+    rng = random.Random(seed)
+    if weights is None:
+        weights = [1.0] * len(traces)
+    if len(weights) != len(traces):
+        raise TraceError("weights must match traces")
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    cumulative[-1] = 1.0
+    while True:
+        pick = rng.random()
+        index = 0
+        while cumulative[index] < pick:
+            index += 1
+        yield next(traces[index])

@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) for the cache substrate.
+
+These pin down structural invariants under arbitrary operation
+sequences: occupancy bounds, lookup consistency, policy liveness, and
+the reference-model equivalence of the LRU cache against a brute-force
+ordered-dict implementation.
+"""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import Cache
+from repro.cache.replacement import make_policy
+from repro.config import CacheConfig
+
+
+def build_cache(sets: int, ways: int, replacement: str) -> Cache:
+    return Cache(
+        CacheConfig(sets * ways * 64, ways, 64, replacement, name="prop")
+    )
+
+
+ADDRESSES = st.integers(min_value=0, max_value=255)
+OPS = st.lists(
+    st.tuples(st.sampled_from(["access", "fill", "invalidate", "promote"]), ADDRESSES),
+    max_size=200,
+)
+POLICIES = st.sampled_from(
+    ["lru", "nru", "srrip", "brrip", "fifo", "random", "plru", "lip"]
+)
+
+
+class TestStructuralInvariants:
+    @given(ops=OPS, policy=POLICIES)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, ops, policy):
+        cache = build_cache(4, 4, policy)
+        for op, addr in ops:
+            getattr(cache, op)(addr)
+            assert cache.occupancy() <= 16
+            for set_index in range(4):
+                assert cache.set_occupancy(set_index) <= 4
+
+    @given(ops=OPS, policy=POLICIES)
+    @settings(max_examples=60, deadline=None)
+    def test_fill_makes_resident_access_hits(self, ops, policy):
+        cache = build_cache(4, 4, policy)
+        for op, addr in ops:
+            getattr(cache, op)(addr)
+        cache.fill(1000)
+        assert cache.contains(1000)
+        assert cache.access(1000)
+
+    @given(ops=OPS, policy=POLICIES)
+    @settings(max_examples=60, deadline=None)
+    def test_resident_lines_match_contains(self, ops, policy):
+        cache = build_cache(4, 4, policy)
+        for op, addr in ops:
+            getattr(cache, op)(addr)
+        resident = set(cache.resident_lines())
+        for addr in range(256):
+            assert cache.contains(addr) == (addr in resident)
+
+    @given(ops=OPS, policy=POLICIES)
+    @settings(max_examples=60, deadline=None)
+    def test_lines_map_to_their_set(self, ops, policy):
+        cache = build_cache(4, 4, policy)
+        for op, addr in ops:
+            getattr(cache, op)(addr)
+        for line_addr in cache.resident_lines():
+            way = cache.way_of(line_addr)
+            line = cache.line_at(cache.set_index_of(line_addr), way)
+            assert line.valid
+            assert line.line_addr == line_addr
+
+    @given(ops=OPS, policy=POLICIES)
+    @settings(max_examples=40, deadline=None)
+    def test_victim_selection_always_succeeds_on_full_set(self, ops, policy):
+        cache = build_cache(2, 4, policy)
+        for op, addr in ops:
+            getattr(cache, op)(addr)
+        # Fill set 0 completely, then demand a victim repeatedly (the
+        # QBS walk): selection must stay inside the set and terminate.
+        for addr in (0, 2, 4, 6):
+            cache.fill(addr)
+        excluded = set()
+        for _ in range(4):
+            way, line = cache.select_victim(0, exclude_ways=excluded)
+            assert 0 <= way < 4
+            assert way not in excluded
+            excluded.add(way)
+
+
+class LRUReference:
+    """Brute-force LRU cache model used as an oracle."""
+
+    def __init__(self, sets: int, ways: int) -> None:
+        self.sets = [OrderedDict() for _ in range(sets)]
+        self.ways = ways
+        self.num_sets = sets
+
+    def access(self, addr: int) -> bool:
+        s = self.sets[addr % self.num_sets]
+        if addr in s:
+            s.move_to_end(addr)
+            return True
+        return False
+
+    def fill(self, addr: int) -> None:
+        s = self.sets[addr % self.num_sets]
+        if addr in s:
+            s.move_to_end(addr)
+            return
+        if len(s) >= self.ways:
+            s.popitem(last=False)
+        s[addr] = True
+
+    def invalidate(self, addr: int) -> None:
+        self.sets[addr % self.num_sets].pop(addr, None)
+
+    def contains(self, addr: int) -> bool:
+        return addr in self.sets[addr % self.num_sets]
+
+
+class TestLRUEquivalence:
+    @given(ops=OPS)
+    @settings(max_examples=80, deadline=None)
+    def test_lru_cache_matches_reference_model(self, ops):
+        cache = build_cache(4, 4, "lru")
+        reference = LRUReference(4, 4)
+        for op, addr in ops:
+            if op == "access":
+                assert cache.access(addr) == reference.access(addr)
+            elif op == "fill":
+                cache.fill(addr)
+                reference.fill(addr)
+            elif op == "invalidate":
+                cache.invalidate(addr)
+                reference.invalidate(addr)
+            elif op == "promote":
+                # Promote refreshes recency exactly like a hit.
+                if cache.promote(addr):
+                    reference.access(addr)
+            for check in range(0, 256, 7):
+                assert cache.contains(check) == reference.contains(check)
+
+
+class TestDirtyTracking:
+    @given(
+        writes=st.lists(st.tuples(ADDRESSES, st.booleans()), max_size=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dirty_only_after_write(self, writes):
+        cache = build_cache(4, 4, "lru")
+        dirty_oracle = {}
+        for addr, is_write in writes:
+            if not cache.contains(addr):
+                cache.fill(addr)
+                dirty_oracle[addr] = False
+            cache.access(addr, write=is_write)
+            dirty_oracle[addr] = dirty_oracle.get(addr, False) or is_write
+        for addr in list(cache.resident_lines()):
+            assert cache.is_dirty(addr) == dirty_oracle.get(addr, False)

@@ -1,0 +1,75 @@
+"""Tests for the optional XOR-folded set-index hash."""
+
+import random
+
+import pytest
+
+from repro.cache import Cache
+from repro.config import CacheConfig, SimConfig, TLAConfig
+from repro.cpu import CMPSimulator
+from repro.workloads.synthetic import strided_trace
+from tests.conftest import tiny_hierarchy, tiny_sim_config
+
+
+def hashed_cache(sets=8, ways=2) -> Cache:
+    return Cache(
+        CacheConfig(sets * ways * 64, ways, 64, "lru", "hashed", index_hash=True)
+    )
+
+
+class TestIndexHash:
+    def test_index_stays_in_range(self):
+        cache = hashed_cache()
+        for line in range(10_000):
+            assert 0 <= cache.set_index_of(line) < cache.num_sets
+
+    def test_index_is_stable(self):
+        cache = hashed_cache()
+        assert cache.set_index_of(12345) == cache.set_index_of(12345)
+
+    def test_fill_and_lookup_agree(self):
+        cache = hashed_cache()
+        rng = random.Random(1)
+        lines = [rng.randrange(1 << 32) for _ in range(200)]
+        for line in lines:
+            cache.fill(line)
+        for line in lines[-8:]:
+            assert cache.contains(line) or True  # eviction allowed
+        cache.fill(0xDEADBEEF)
+        assert cache.contains(0xDEADBEEF)
+        assert cache.access(0xDEADBEEF)
+
+    def test_hash_spreads_set_stride(self):
+        """Lines at a num_sets stride conflict in a plain cache but
+        spread across sets under hashing."""
+        plain = Cache(CacheConfig(8 * 2 * 64, 2, 64, "lru", "plain"))
+        hashed = hashed_cache()
+        stride_lines = [i * plain.num_sets for i in range(16)]
+        plain_sets = {plain.set_index_of(line) for line in stride_lines}
+        hashed_sets = {hashed.set_index_of(line) for line in stride_lines}
+        assert plain_sets == {0}
+        assert len(hashed_sets) > 4
+
+    def test_hashed_llc_preserves_inclusion_and_qbs(self):
+        """The TLA conclusions are index-function independent."""
+        import dataclasses
+
+        def run(tla):
+            hierarchy = tiny_hierarchy("inclusive", num_cores=1, tla=tla)
+            hierarchy = dataclasses.replace(
+                hierarchy,
+                llc=dataclasses.replace(hierarchy.llc, index_hash=True),
+            )
+            config = SimConfig(
+                hierarchy=hierarchy, instruction_quota=10_000
+            )
+            sim = CMPSimulator(
+                config, [strided_trace(64 * 9)]  # stride-9-lines stream
+            )
+            result = sim.run()
+            sim.hierarchy.check_invariants()
+            return result
+
+        base = run(TLAConfig())
+        qbs = run(TLAConfig(policy="qbs", levels=("il1", "dl1", "l2")))
+        assert qbs.total_inclusion_victims <= base.total_inclusion_victims

@@ -1,0 +1,52 @@
+"""Unit tests for CacheLine / EvictedLine."""
+
+from repro.cache import CacheLine, EvictedLine
+
+
+class TestCacheLine:
+    def test_starts_invalid(self):
+        line = CacheLine()
+        assert not line.valid
+        assert not line.dirty
+
+    def test_fill(self):
+        line = CacheLine()
+        line.fill(0x42, dirty=True)
+        assert line.valid
+        assert line.dirty
+        assert line.line_addr == 0x42
+
+    def test_invalidate_clears_state(self):
+        line = CacheLine()
+        line.fill(0x42, dirty=True)
+        line.invalidate()
+        assert not line.valid
+        assert not line.dirty
+
+    def test_refill_resets_dirty(self):
+        line = CacheLine()
+        line.fill(1, dirty=True)
+        line.fill(2)
+        assert line.line_addr == 2
+        assert not line.dirty
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        line = CacheLine()
+        try:
+            line.extra = 1
+        except AttributeError:
+            return
+        raise AssertionError("CacheLine should use __slots__")
+
+
+class TestEvictedLine:
+    def test_fields(self):
+        evicted = EvictedLine(0x99, True)
+        assert evicted.line_addr == 0x99
+        assert evicted.dirty
+
+    def test_frozen_and_hashable(self):
+        a = EvictedLine(1, False)
+        b = EvictedLine(1, False)
+        assert a == b
+        assert hash(a) == hash(b)

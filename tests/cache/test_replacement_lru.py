@@ -1,0 +1,99 @@
+"""Unit tests for the recency-stack replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import LIPPolicy, LRUPolicy, MRUPolicy
+from repro.errors import SimulationError
+
+
+class TestLRUPolicy:
+    def test_initial_victim_is_way_deterministic(self):
+        policy = LRUPolicy(num_sets=4, associativity=4)
+        # Untouched stack is [0, 1, 2, 3]; the LRU end is way 3.
+        assert policy.select_victim(0) == 3
+
+    def test_hit_moves_way_to_mru(self):
+        policy = LRUPolicy(1, 4)
+        policy.on_hit(0, 3)
+        assert policy.select_victim(0) == 2
+
+    def test_fill_moves_way_to_mru(self):
+        policy = LRUPolicy(1, 4)
+        for way in (3, 2, 1, 0):
+            policy.on_fill(0, way)
+        # Fill order 3,2,1,0 -> LRU is 3.
+        assert policy.select_victim(0) == 3
+
+    def test_victim_order_is_reverse_recency(self):
+        policy = LRUPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        assert policy.victim_order(0) == [0, 1, 2, 3]
+
+    def test_exclusion_skips_lru_way(self):
+        policy = LRUPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        assert policy.select_victim(0, exclude={0}) == 1
+
+    def test_full_exclusion_raises(self):
+        policy = LRUPolicy(1, 2)
+        with pytest.raises(SimulationError):
+            policy.select_victim(0, exclude={0, 1})
+
+    def test_invalidate_moves_way_to_lru(self):
+        policy = LRUPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        policy.on_invalidate(0, 3)
+        assert policy.select_victim(0) == 3
+
+    def test_sets_are_independent(self):
+        policy = LRUPolicy(2, 2)
+        policy.on_hit(0, 1)
+        assert policy.select_victim(0) == 0
+        assert policy.select_victim(1) == 1
+
+    def test_promote_acts_like_hit(self):
+        policy = LRUPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        policy.promote(0, 0)
+        assert policy.victim_order(0) == [1, 2, 3, 0]
+
+    def test_recency_of(self):
+        policy = LRUPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        assert policy.recency_of(0, 3) == 0
+        assert policy.recency_of(0, 0) == 3
+
+
+class TestLIPPolicy:
+    def test_fill_inserts_at_lru(self):
+        policy = LIPPolicy(1, 4)
+        policy.on_fill(0, 2)
+        assert policy.select_victim(0) == 2
+
+    def test_hit_promotes_to_mru(self):
+        policy = LIPPolicy(1, 4)
+        policy.on_fill(0, 2)
+        policy.on_hit(0, 2)
+        assert policy.select_victim(0) != 2
+
+
+class TestMRUPolicy:
+    def test_victim_is_most_recent(self):
+        policy = MRUPolicy(1, 4)
+        policy.on_hit(0, 2)
+        assert policy.select_victim(0) == 2
+
+    def test_victim_order_starts_at_mru(self):
+        policy = MRUPolicy(1, 3)
+        policy.on_hit(0, 1)
+        assert policy.victim_order(0)[0] == 1
+
+    def test_exclusion(self):
+        policy = MRUPolicy(1, 3)
+        policy.on_hit(0, 1)
+        assert policy.select_victim(0, exclude={1}) != 1

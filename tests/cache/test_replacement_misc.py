@@ -1,0 +1,116 @@
+"""Unit tests for FIFO, Random, PLRU and the policy registry."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from repro.errors import SimulationError, UnknownPolicyError
+
+
+class TestFIFO:
+    def test_eviction_follows_fill_order(self):
+        policy = FIFOPolicy(1, 4)
+        for way in (2, 0, 3, 1):
+            policy.on_fill(0, way)
+        assert policy.victim_order(0) == [2, 0, 3, 1]
+
+    def test_hits_do_not_reorder(self):
+        policy = FIFOPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        policy.on_hit(0, 0)
+        assert policy.select_victim(0) == 0
+
+    def test_invalidate_moves_to_front(self):
+        policy = FIFOPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        policy.on_invalidate(0, 2)
+        assert policy.select_victim(0) == 2
+
+    def test_exclusion(self):
+        policy = FIFOPolicy(1, 2)
+        assert policy.select_victim(0, exclude={0}) == 1
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        a = RandomPolicy(1, 8, seed=7)
+        b = RandomPolicy(1, 8, seed=7)
+        assert [a.select_victim(0) for _ in range(20)] == [
+            b.select_victim(0) for _ in range(20)
+        ]
+
+    def test_respects_exclusion(self):
+        policy = RandomPolicy(1, 4, seed=3)
+        for _ in range(50):
+            assert policy.select_victim(0, exclude={0, 1, 2}) == 3
+
+    def test_covers_all_ways(self):
+        policy = RandomPolicy(1, 4, seed=11)
+        seen = {policy.select_victim(0) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_full_exclusion_raises(self):
+        policy = RandomPolicy(1, 2)
+        with pytest.raises(SimulationError):
+            policy.select_victim(0, exclude={0, 1})
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(SimulationError):
+            TreePLRUPolicy(1, 3)
+
+    def test_victim_avoids_recent_way(self):
+        policy = TreePLRUPolicy(1, 4)
+        policy.on_hit(0, 0)
+        assert policy.select_victim(0) != 0
+
+    def test_round_robin_under_sequential_fills(self):
+        policy = TreePLRUPolicy(1, 4)
+        victims = []
+        for _ in range(4):
+            way = policy.select_victim(0)
+            victims.append(way)
+            policy.on_fill(0, way)
+        assert sorted(victims) == [0, 1, 2, 3]
+
+    def test_exclusion_falls_back(self):
+        policy = TreePLRUPolicy(1, 4)
+        primary = policy.select_victim(0)
+        other = policy.select_victim(0, exclude={primary})
+        assert other != primary
+
+
+class TestRegistry:
+    def test_all_paper_policies_registered(self):
+        names = available_policies()
+        for expected in ("lru", "nru", "srrip", "brrip", "drrip", "fifo",
+                         "random", "plru", "lip", "mru"):
+            assert expected in names
+
+    def test_make_policy_unknown_raises(self):
+        with pytest.raises(UnknownPolicyError):
+            make_policy("clairvoyant", 4, 4)
+
+    def test_make_policy_builds_geometry(self):
+        policy = make_policy("lru", 8, 4)
+        assert policy.num_sets == 8
+        assert policy.associativity == 4
+
+    def test_register_custom_policy(self):
+        from repro.cache.replacement import LRUPolicy
+
+        class Custom(LRUPolicy):
+            name = "custom-test"
+
+        register_policy("custom-test", Custom)
+        assert "custom-test" in available_policies()
+        assert isinstance(make_policy("custom-test", 2, 2), Custom)

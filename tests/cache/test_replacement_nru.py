@@ -1,0 +1,94 @@
+"""Unit tests for NRU — the paper's baseline LLC replacement policy."""
+
+import pytest
+
+from repro.cache.replacement import NRUPolicy
+from repro.errors import SimulationError
+
+
+class TestNRUPolicy:
+    def test_initial_victim_is_way_zero(self):
+        policy = NRUPolicy(2, 4)
+        assert policy.select_victim(0) == 0
+
+    def test_fill_sets_reference_bit(self):
+        policy = NRUPolicy(1, 4)
+        policy.on_fill(0, 0)
+        assert policy.ref_bit(0, 0) == 1
+        assert policy.select_victim(0) == 1
+
+    def test_hit_sets_reference_bit(self):
+        policy = NRUPolicy(1, 4)
+        policy.on_hit(0, 2)
+        assert policy.ref_bit(0, 2) == 1
+
+    def test_scan_skips_recently_used(self):
+        policy = NRUPolicy(1, 4)
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        assert policy.select_victim(0) == 2
+
+    def test_saturation_clears_all_bits(self):
+        policy = NRUPolicy(1, 4)
+        for way in range(4):
+            policy.on_fill(0, way)
+        victim = policy.select_victim(0)
+        assert victim == 0
+        # The clear-all happened: every bit is now zero.
+        assert all(policy.ref_bit(0, w) == 0 for w in range(4))
+
+    def test_invalidate_clears_bit(self):
+        policy = NRUPolicy(1, 4)
+        policy.on_fill(0, 0)
+        policy.on_invalidate(0, 0)
+        assert policy.select_victim(0) == 0
+
+    def test_exclusion_skips_way(self):
+        policy = NRUPolicy(1, 4)
+        assert policy.select_victim(0, exclude={0}) == 1
+
+    def test_exclusion_with_saturation(self):
+        policy = NRUPolicy(1, 4)
+        for way in range(4):
+            policy.on_fill(0, way)
+        assert policy.select_victim(0, exclude={0}) == 1
+
+    def test_excluded_zero_bits_do_not_trigger_clear(self):
+        policy = NRUPolicy(1, 4)
+        # Ways 1-3 recently used; way 0 cold but excluded.
+        for way in (1, 2, 3):
+            policy.on_fill(0, way)
+        victim = policy.select_victim(0, exclude={0})
+        assert victim == 1
+        # No clear-all: ways 2 and 3 keep their bits.
+        assert policy.ref_bit(0, 2) == 1
+        assert policy.ref_bit(0, 3) == 1
+
+    def test_full_exclusion_raises(self):
+        policy = NRUPolicy(1, 2)
+        with pytest.raises(SimulationError):
+            policy.select_victim(0, exclude={0, 1})
+
+    def test_victim_order_cold_first(self):
+        policy = NRUPolicy(1, 4)
+        policy.on_fill(0, 1)
+        policy.on_fill(0, 3)
+        assert policy.victim_order(0) == [0, 2, 1, 3]
+
+    def test_promote_equals_hit(self):
+        policy = NRUPolicy(1, 4)
+        policy.promote(0, 1)
+        assert policy.ref_bit(0, 1) == 1
+
+    def test_qbs_style_walk_terminates(self):
+        """Promote-then-reselect (the QBS loop) never repeats a way."""
+        policy = NRUPolicy(1, 4)
+        for way in range(4):
+            policy.on_fill(0, way)
+        seen = set()
+        for _ in range(4):
+            way = policy.select_victim(0, exclude=seen)
+            assert way not in seen
+            policy.promote(0, way)
+            seen.add(way)
+        assert seen == {0, 1, 2, 3}

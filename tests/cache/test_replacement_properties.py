@@ -1,0 +1,121 @@
+"""Property-based tests on replacement-policy invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.replacement import (
+    NRUPolicy,
+    SRRIPPolicy,
+    make_policy,
+)
+
+WAYS = 4
+SETS = 2
+
+#: (operation, way) sequences for a single set.
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["fill", "hit", "promote", "invalidate"]),
+        st.integers(0, WAYS - 1),
+    ),
+    max_size=120,
+)
+
+POLICY_NAMES = ["lru", "nru", "srrip", "brrip", "fifo", "plru", "lip", "random"]
+
+
+def apply(policy, ops, set_index=0):
+    for op, way in ops:
+        if op == "fill":
+            policy.on_fill(set_index, way)
+        elif op == "hit":
+            policy.on_hit(set_index, way)
+        elif op == "promote":
+            policy.promote(set_index, way)
+        else:
+            policy.on_invalidate(set_index, way)
+
+
+class TestUniversalInvariants:
+    @given(ops=OPS, name=st.sampled_from(POLICY_NAMES))
+    @settings(max_examples=80, deadline=None)
+    def test_victim_is_always_a_valid_way(self, ops, name):
+        policy = make_policy(name, SETS, WAYS)
+        apply(policy, ops)
+        assert 0 <= policy.select_victim(0) < WAYS
+
+    @given(ops=OPS, name=st.sampled_from(POLICY_NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_exclusion_always_respected(self, ops, name):
+        policy = make_policy(name, SETS, WAYS)
+        apply(policy, ops)
+        for excluded_way in range(WAYS):
+            assert policy.select_victim(0, {excluded_way}) != excluded_way
+
+    @given(ops=OPS, name=st.sampled_from(POLICY_NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_qbs_walk_visits_all_ways(self, ops, name):
+        """Promote-and-reselect must enumerate the whole set."""
+        policy = make_policy(name, SETS, WAYS)
+        apply(policy, ops)
+        seen = set()
+        for _ in range(WAYS):
+            way = policy.select_victim(0, seen)
+            assert way not in seen
+            policy.promote(0, way)
+            seen.add(way)
+        assert seen == set(range(WAYS))
+
+    @given(ops=OPS, name=st.sampled_from(POLICY_NAMES))
+    @settings(max_examples=40, deadline=None)
+    def test_sets_are_isolated(self, ops, name):
+        """Operations on set 0 never change set 1's decision."""
+        policy = make_policy(name, SETS, WAYS)
+        if name == "random":
+            return  # random's RNG stream is shared across sets by design
+        before = policy.select_victim(1)
+        apply(policy, ops, set_index=0)
+        assert policy.select_victim(1) == before
+
+
+class TestNRUInvariants:
+    @given(ops=OPS)
+    @settings(max_examples=80, deadline=None)
+    def test_victim_never_has_reference_bit(self, ops):
+        """NRU only evicts not-recently-used lines (post clear-all)."""
+        policy = NRUPolicy(SETS, WAYS)
+        apply(policy, ops)
+        way = policy.select_victim(0)
+        assert policy.ref_bit(0, way) == 0
+
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_recently_used_way_survives_if_alternative_exists(self, ops):
+        policy = NRUPolicy(SETS, WAYS)
+        apply(policy, ops)
+        policy.on_hit(0, 2)
+        policy.on_invalidate(0, 3)  # guarantees a zero-bit alternative
+        assert policy.select_victim(0) != 2
+
+
+class TestRRIPInvariants:
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_victim_has_maximal_rrpv(self, ops):
+        policy = SRRIPPolicy(SETS, WAYS)
+        apply(policy, ops)
+        way = policy.select_victim(0)
+        rrpvs = [policy.rrpv_of(0, w) for w in range(WAYS)]
+        assert policy.rrpv_of(0, way) == max(rrpvs) == policy.max_rrpv
+
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_aging_preserves_relative_order(self, ops):
+        policy = SRRIPPolicy(SETS, WAYS)
+        apply(policy, ops)
+        before = [policy.rrpv_of(0, w) for w in range(WAYS)]
+        policy.select_victim(0)
+        after = [policy.rrpv_of(0, w) for w in range(WAYS)]
+        for a in range(WAYS):
+            for b in range(WAYS):
+                if before[a] < before[b]:
+                    assert after[a] <= after[b]

@@ -1,0 +1,103 @@
+"""Unit tests for the RRIP policy family."""
+
+from repro.cache.replacement import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+
+
+class TestSRRIP:
+    def test_fill_inserts_long_rereference(self):
+        policy = SRRIPPolicy(1, 4)
+        policy.on_fill(0, 0)
+        assert policy.rrpv_of(0, 0) == policy.max_rrpv - 1
+
+    def test_hit_resets_rrpv(self):
+        policy = SRRIPPolicy(1, 4)
+        policy.on_fill(0, 0)
+        policy.on_hit(0, 0)
+        assert policy.rrpv_of(0, 0) == 0
+
+    def test_initial_lines_are_distant(self):
+        policy = SRRIPPolicy(1, 4)
+        assert policy.select_victim(0) == 0
+
+    def test_aging_exposes_victim(self):
+        policy = SRRIPPolicy(1, 2)
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        policy.on_hit(0, 0)
+        policy.on_hit(0, 1)
+        # Both at RRPV 0; aging must raise them to max then pick way 0.
+        assert policy.select_victim(0) == 0
+
+    def test_aging_preserves_relative_order(self):
+        policy = SRRIPPolicy(1, 2)
+        policy.on_fill(0, 0)  # rrpv 2
+        policy.on_hit(0, 1)  # rrpv 0 via hit on invalid slot state
+        policy._rrpv[0][1] = 1
+        victim = policy.select_victim(0)
+        assert victim == 0  # higher RRPV evicted first
+
+    def test_exclusion(self):
+        policy = SRRIPPolicy(1, 4)
+        assert policy.select_victim(0, exclude={0, 1}) == 2
+
+    def test_victim_order_sorted_by_rrpv(self):
+        policy = SRRIPPolicy(1, 3)
+        policy.on_fill(0, 0)  # 2
+        policy.on_hit(0, 1)  # 0
+        order = policy.victim_order(0)
+        assert order[0] == 2  # untouched, rrpv 3
+        assert order[-1] == 1
+
+    def test_invalidate_makes_way_distant(self):
+        policy = SRRIPPolicy(1, 2)
+        policy.on_hit(0, 0)
+        policy.on_hit(0, 1)
+        policy.on_invalidate(0, 1)
+        assert policy.select_victim(0) == 1
+
+
+class TestBRRIP:
+    def test_most_fills_are_distant(self):
+        policy = BRRIPPolicy(1, 4)
+        distant = 0
+        for i in range(64):
+            policy.on_fill(0, i % 4)
+            if policy.rrpv_of(0, i % 4) == policy.max_rrpv:
+                distant += 1
+        # 1 in bimodal_period fills is "long", the rest are "distant".
+        assert distant == 64 - 64 // BRRIPPolicy.bimodal_period
+
+    def test_bimodal_fill_is_periodic(self):
+        policy = BRRIPPolicy(1, 4)
+        insertions = [policy._insertion_rrpv(0) for _ in range(64)]
+        longs = [i for i, v in enumerate(insertions) if v == policy.max_rrpv - 1]
+        assert longs == [31, 63]
+
+
+class TestDRRIP:
+    def test_leader_sets_disjoint(self):
+        policy = DRRIPPolicy(64, 4)
+        assert not (policy._srrip_leaders & policy._brrip_leaders)
+
+    def test_followers_track_psel(self):
+        policy = DRRIPPolicy(64, 4)
+        follower = next(
+            s
+            for s in range(64)
+            if s not in policy._srrip_leaders and s not in policy._brrip_leaders
+        )
+        # PSEL starts in the SRRIP half.
+        assert policy._insertion_rrpv(follower) == policy.max_rrpv - 1
+        policy._psel = 0  # force BRRIP
+        values = {policy._insertion_rrpv(follower) for _ in range(40)}
+        assert policy.max_rrpv in values
+
+    def test_record_miss_moves_psel(self):
+        policy = DRRIPPolicy(64, 4)
+        start = policy._psel
+        leader = next(iter(policy._srrip_leaders))
+        policy.record_miss(leader)
+        assert policy._psel == start - 1
+        brrip_leader = next(iter(policy._brrip_leaders))
+        policy.record_miss(brrip_leader)
+        assert policy._psel == start

@@ -1,0 +1,85 @@
+"""Unit tests for the fully-associative victim cache."""
+
+import pytest
+
+from repro.cache import VictimCache
+from repro.cache.line import EvictedLine
+from repro.errors import ConfigurationError
+
+
+class TestVictimCache:
+    def test_insert_then_extract(self):
+        vc = VictimCache(4)
+        vc.insert(EvictedLine(0x10, False))
+        hit = vc.extract(0x10)
+        assert hit is not None
+        assert hit.line_addr == 0x10
+        assert not hit.dirty
+        assert 0x10 not in vc
+
+    def test_extract_miss_returns_none(self):
+        vc = VictimCache(4)
+        assert vc.extract(0x99) is None
+        assert vc.stats.misses == 1
+
+    def test_lru_overflow_drops_oldest(self):
+        vc = VictimCache(2)
+        vc.insert(EvictedLine(1, False))
+        vc.insert(EvictedLine(2, False))
+        vc.insert(EvictedLine(3, False))
+        assert 1 not in vc
+        assert 2 in vc and 3 in vc
+        assert vc.stats.overflows == 1
+
+    def test_overflow_returns_dirty_displaced(self):
+        vc = VictimCache(1)
+        vc.insert(EvictedLine(1, True))
+        displaced = vc.insert(EvictedLine(2, False))
+        assert displaced is not None
+        assert displaced.line_addr == 1
+        assert displaced.dirty
+
+    def test_overflow_of_clean_line_silent(self):
+        vc = VictimCache(1)
+        vc.insert(EvictedLine(1, False))
+        assert vc.insert(EvictedLine(2, False)) is None
+
+    def test_reinsert_merges_dirty(self):
+        vc = VictimCache(4)
+        vc.insert(EvictedLine(1, True))
+        vc.insert(EvictedLine(1, False))
+        hit = vc.extract(1)
+        assert hit.dirty
+
+    def test_reinsert_refreshes_lru(self):
+        vc = VictimCache(2)
+        vc.insert(EvictedLine(1, False))
+        vc.insert(EvictedLine(2, False))
+        vc.insert(EvictedLine(1, False))  # refresh 1
+        vc.insert(EvictedLine(3, False))  # drop 2, the LRU
+        assert 1 in vc
+        assert 2 not in vc
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VictimCache(0)
+
+    def test_dirty_preserved_through_extract(self):
+        vc = VictimCache(4)
+        vc.insert(EvictedLine(5, True))
+        assert vc.extract(5).dirty
+
+    def test_len_tracks_occupancy(self):
+        vc = VictimCache(8)
+        for i in range(5):
+            vc.insert(EvictedLine(i, False))
+        assert len(vc) == 5
+        vc.extract(0)
+        assert len(vc) == 4
+
+    def test_hit_rate(self):
+        vc = VictimCache(4)
+        vc.insert(EvictedLine(1, False))
+        vc.extract(1)
+        vc.extract(2)
+        assert vc.stats.hit_rate == pytest.approx(0.5)

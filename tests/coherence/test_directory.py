@@ -1,0 +1,74 @@
+"""Unit tests for the per-LLC-line sharer directory."""
+
+import pytest
+
+from repro.coherence import Directory
+from repro.errors import ConfigurationError
+
+
+class TestDirectory:
+    def test_empty_line_has_no_sharers(self):
+        directory = Directory(4)
+        assert directory.sharers(0x10) == []
+        assert not directory.may_be_cached(0x10)
+
+    def test_fill_sets_presence_bit(self):
+        directory = Directory(4)
+        directory.on_fill_to_core(0x10, 2)
+        assert directory.sharers(0x10) == [2]
+        assert directory.is_sharer(0x10, 2)
+        assert not directory.is_sharer(0x10, 0)
+
+    def test_multiple_sharers(self):
+        directory = Directory(4)
+        directory.on_fill_to_core(0x10, 0)
+        directory.on_fill_to_core(0x10, 3)
+        assert directory.sharers(0x10) == [0, 3]
+        assert directory.sharer_count(0x10) == 2
+
+    def test_invalidation_clears_bit(self):
+        directory = Directory(2)
+        directory.on_fill_to_core(0x10, 0)
+        directory.on_fill_to_core(0x10, 1)
+        directory.on_core_invalidated(0x10, 0)
+        assert directory.sharers(0x10) == [1]
+
+    def test_last_invalidation_drops_entry(self):
+        directory = Directory(2)
+        directory.on_fill_to_core(0x10, 0)
+        directory.on_core_invalidated(0x10, 0)
+        assert len(directory) == 0
+
+    def test_invalidate_untracked_line_is_noop(self):
+        directory = Directory(2)
+        directory.on_core_invalidated(0x99, 1)
+        assert len(directory) == 0
+
+    def test_llc_eviction_drops_state(self):
+        directory = Directory(2)
+        directory.on_fill_to_core(0x10, 0)
+        directory.on_llc_eviction(0x10)
+        assert directory.sharers(0x10) == []
+
+    def test_refill_is_idempotent(self):
+        directory = Directory(2)
+        directory.on_fill_to_core(0x10, 1)
+        directory.on_fill_to_core(0x10, 1)
+        assert directory.sharer_count(0x10) == 1
+
+    def test_core_id_bounds_checked(self):
+        directory = Directory(2)
+        with pytest.raises(ConfigurationError):
+            directory.on_fill_to_core(0x10, 2)
+        with pytest.raises(ConfigurationError):
+            directory.is_sharer(0x10, -1)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Directory(0)
+
+    def test_tracked_lines(self):
+        directory = Directory(2)
+        directory.on_fill_to_core(1, 0)
+        directory.on_fill_to_core(2, 1)
+        assert sorted(directory.tracked_lines()) == [1, 2]

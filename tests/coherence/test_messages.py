@@ -1,0 +1,74 @@
+"""Unit tests for the traffic meter and snoop-filter model."""
+
+import pytest
+
+from repro.coherence import MessageType, SnoopFilterModel, TrafficMeter
+
+
+class TestTrafficMeter:
+    def test_starts_at_zero(self):
+        meter = TrafficMeter()
+        assert meter.total() == 0
+        for message in MessageType:
+            assert meter.count(message) == 0
+
+    def test_record_accumulates(self):
+        meter = TrafficMeter()
+        meter.record(MessageType.BACK_INVALIDATE)
+        meter.record(MessageType.BACK_INVALIDATE, 3)
+        assert meter.count(MessageType.BACK_INVALIDATE) == 4
+        assert meter.total() == 4
+
+    def test_invalidate_traffic_combines_classes(self):
+        meter = TrafficMeter()
+        meter.record(MessageType.BACK_INVALIDATE, 5)
+        meter.record(MessageType.ECI_INVALIDATE, 2)
+        meter.record(MessageType.QBS_QUERY, 100)
+        assert meter.invalidate_traffic == 7
+
+    def test_llc_request_traffic_includes_hints(self):
+        meter = TrafficMeter()
+        meter.record(MessageType.LLC_REQUEST, 10)
+        meter.record(MessageType.TLH_HINT, 90)
+        assert meter.llc_request_traffic == 100
+
+    def test_per_kilo_cycles(self):
+        meter = TrafficMeter()
+        meter.record(MessageType.BACK_INVALIDATE, 14)
+        assert meter.per_kilo_cycles(MessageType.BACK_INVALIDATE, 2000) == pytest.approx(7.0)
+        assert meter.per_kilo_cycles(MessageType.BACK_INVALIDATE, 0) == 0.0
+
+    def test_reset(self):
+        meter = TrafficMeter()
+        meter.record(MessageType.WRITEBACK, 9)
+        meter.reset()
+        assert meter.total() == 0
+
+    def test_snapshot_keys_are_strings(self):
+        meter = TrafficMeter()
+        meter.record(MessageType.QBS_QUERY)
+        snap = meter.snapshot()
+        assert snap["qbs_query"] == 1
+        assert set(snap) == {m.value for m in MessageType}
+
+
+class TestSnoopFilterModel:
+    def test_inclusive_avoids_probes(self):
+        model = SnoopFilterModel(num_cores=4)
+        model.on_llc_miss(directory_sharers=0)
+        assert model.inclusive_probes == 0
+        assert model.non_inclusive_probes == 4
+        assert model.probes_avoided == 4
+
+    def test_probes_accumulate(self):
+        model = SnoopFilterModel(num_cores=2)
+        for _ in range(5):
+            model.on_llc_miss()
+        assert model.llc_misses_observed == 5
+        assert model.non_inclusive_probes == 10
+
+    def test_directory_sharers_counted_for_inclusive(self):
+        model = SnoopFilterModel(num_cores=8)
+        model.on_llc_miss(directory_sharers=3)
+        assert model.inclusive_probes == 3
+        assert model.probes_avoided == 5

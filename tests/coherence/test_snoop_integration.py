@@ -1,0 +1,19 @@
+"""SnoopFilterModel integration sanity (analytic probe counting)."""
+
+from repro.coherence import SnoopFilterModel
+
+
+class TestSnoopModelUsage:
+    def test_mixed_miss_stream(self):
+        model = SnoopFilterModel(num_cores=4)
+        for sharers in (0, 1, 3, 0, 2):
+            model.on_llc_miss(directory_sharers=sharers)
+        assert model.llc_misses_observed == 5
+        assert model.inclusive_probes == 6
+        assert model.non_inclusive_probes == 20
+        assert model.probes_avoided == 14
+
+    def test_single_core_still_counts(self):
+        model = SnoopFilterModel(num_cores=1)
+        model.on_llc_miss()
+        assert model.non_inclusive_probes == 1

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+Tests run on deliberately tiny machines (a few KB of cache) so every
+test completes in milliseconds while still exercising the same code
+paths as the paper-scale configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    HierarchyConfig,
+    SimConfig,
+    TimingConfig,
+    TLAConfig,
+)
+
+KB = 1024
+
+
+def tiny_hierarchy(
+    mode: str = "inclusive",
+    num_cores: int = 2,
+    tla: TLAConfig = TLAConfig(),
+    llc_bytes: int = 8 * KB,
+    llc_replacement: str = "nru",
+) -> HierarchyConfig:
+    """A miniature machine: 1 KB L1s, 2 KB L2, 8 KB LLC, 64 B lines."""
+    return HierarchyConfig(
+        num_cores=num_cores,
+        mode=mode,
+        l1i=CacheConfig(1 * KB, 4, name="L1I"),
+        l1d=CacheConfig(1 * KB, 4, name="L1D"),
+        l2=CacheConfig(2 * KB, 8, name="L2"),
+        llc=CacheConfig(llc_bytes, 16, replacement=llc_replacement, name="LLC"),
+        tla=tla,
+    )
+
+
+def tiny_sim_config(
+    mode: str = "inclusive",
+    num_cores: int = 2,
+    tla: TLAConfig = TLAConfig(),
+    quota: int = 5_000,
+    warmup: int = 0,
+    **kwargs,
+) -> SimConfig:
+    return SimConfig(
+        hierarchy=tiny_hierarchy(mode=mode, num_cores=num_cores, tla=tla, **kwargs),
+        timing=TimingConfig(),
+        instruction_quota=quota,
+        warmup_instructions=warmup,
+    )
+
+
+@pytest.fixture
+def inclusive_config() -> HierarchyConfig:
+    return tiny_hierarchy("inclusive")
+
+
+@pytest.fixture
+def non_inclusive_config() -> HierarchyConfig:
+    return tiny_hierarchy("non_inclusive")
+
+
+@pytest.fixture
+def exclusive_config() -> HierarchyConfig:
+    return tiny_hierarchy("exclusive")

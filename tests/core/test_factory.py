@@ -1,0 +1,87 @@
+"""Tests for the TLA policy factory."""
+
+import pytest
+
+from repro.config import TLAConfig
+from repro.core import (
+    EarlyCoreInvalidation,
+    QueryBasedSelection,
+    TemporalLocalityHints,
+    TLAPolicy,
+    available_tla_policies,
+    make_tla_policy,
+)
+from repro.errors import SimulationError, UnknownPolicyError
+
+
+class TestFactory:
+    def test_none_gives_null_policy(self):
+        policy = make_tla_policy(TLAConfig(policy="none"))
+        assert type(policy) is TLAPolicy
+        assert policy.name == "none"
+
+    def test_tlh_parameters(self):
+        policy = make_tla_policy(
+            TLAConfig(
+                policy="tlh", levels=("l2",), sample_rate=0.25, mru_filter=True
+            )
+        )
+        assert isinstance(policy, TemporalLocalityHints)
+        assert policy.levels == frozenset({"l2"})
+        assert policy.sample_rate == 0.25
+        assert policy.mru_filter
+
+    def test_eci(self):
+        assert isinstance(
+            make_tla_policy(TLAConfig(policy="eci")), EarlyCoreInvalidation
+        )
+
+    def test_qbs_parameters(self):
+        policy = make_tla_policy(
+            TLAConfig(
+                policy="qbs",
+                levels=("il1", "l2"),
+                max_queries=4,
+                back_invalidate=True,
+            )
+        )
+        assert isinstance(policy, QueryBasedSelection)
+        assert policy.levels == frozenset({"il1", "l2"})
+        assert policy.max_queries == 4
+        assert policy.back_invalidate
+
+    def test_available_names(self):
+        assert available_tla_policies() == ["none", "tlh", "eci", "qbs"]
+
+    def test_unknown_rejected(self):
+        config = TLAConfig.__new__(TLAConfig)  # bypass validation
+        object.__setattr__(config, "policy", "telepathy")
+        object.__setattr__(config, "levels", ("il1",))
+        object.__setattr__(config, "sample_rate", 1.0)
+        object.__setattr__(config, "mru_filter", False)
+        object.__setattr__(config, "max_queries", 0)
+        object.__setattr__(config, "back_invalidate", False)
+        with pytest.raises(UnknownPolicyError):
+            make_tla_policy(config)
+
+
+class TestBasePolicy:
+    def test_unattached_hooks_fail_loudly(self):
+        policy = TLAPolicy()
+        with pytest.raises(SimulationError):
+            policy.select_llc_victim(0, 0)
+
+    def test_null_hooks_are_noops(self):
+        policy = TLAPolicy()
+        policy.on_core_cache_hit(0, "il1", 1)  # no exception, no state
+        policy.after_llc_miss_fill(0, 0, 0, 1)
+
+    def test_default_victim_delegates_to_llc_policy(self):
+        from repro.hierarchy import build_hierarchy
+        from tests.conftest import tiny_hierarchy
+
+        h = build_hierarchy(tiny_hierarchy("inclusive", num_cores=1))
+        for line in range(0, 16 * 8, 8):  # fill LLC set 0
+            h.llc.fill(line)
+        way = h.tla.select_llc_victim(0, 0)
+        assert way == h.llc.policy.victim_order(0)[0]

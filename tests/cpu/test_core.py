@@ -1,0 +1,107 @@
+"""Unit tests for SimulatedCore (quota, warm-up, prefetcher wiring)."""
+
+import pytest
+
+from repro.access import AccessType
+from repro.config import PrefetchConfig, SimConfig
+from repro.cpu import SimulatedCore
+from repro.errors import SimulationError
+from repro.hierarchy import build_hierarchy
+from repro.workloads import TraceRecord
+from repro.workloads.synthetic import looping_trace, strided_trace
+from tests.conftest import tiny_hierarchy, tiny_sim_config
+
+
+def make_core(trace, quota=1_000, warmup=0, prefetch=False):
+    config = tiny_sim_config(num_cores=1, quota=quota, warmup=warmup)
+    if prefetch:
+        config = SimConfig(
+            hierarchy=config.hierarchy,
+            timing=config.timing,
+            prefetch=PrefetchConfig(enabled=True),
+            instruction_quota=quota,
+            warmup_instructions=warmup,
+        )
+    hierarchy = build_hierarchy(config.hierarchy)
+    return SimulatedCore(0, trace, hierarchy, config)
+
+
+class TestQuotaAccounting:
+    def test_done_at_quota(self):
+        core = make_core(looping_trace(4), quota=100)
+        while not core.done:
+            core.step()
+        assert core.instructions >= 100
+        assert core.measured_instructions() == 100
+
+    def test_ipc_before_quota_raises(self):
+        core = make_core(looping_trace(4), quota=100)
+        core.step()
+        with pytest.raises(SimulationError):
+            core.ipc()
+
+    def test_continues_past_quota(self):
+        core = make_core(looping_trace(4), quota=100)
+        while not core.done:
+            core.step()
+        cycles_at_done = core.cycles
+        core.step()
+        assert core.cycles > cycles_at_done
+
+    def test_recording_window(self):
+        core = make_core(looping_trace(4), quota=100, warmup=50)
+        assert not core.recording  # still warming up
+        while core.instructions < 50:
+            core.step()
+        assert core.recording
+        while not core.done:
+            core.step()
+        assert not core.recording
+
+
+class TestWarmupBoundaries:
+    def test_warmup_cycles_captured(self):
+        core = make_core(looping_trace(4), quota=100, warmup=50)
+        while not core.done:
+            core.step()
+        assert core.cycles_at_warmup > 0
+        assert core.cycles_at_quota > core.cycles_at_warmup
+        window = core.cycles_at_quota - core.cycles_at_warmup
+        assert core.ipc() == pytest.approx(100 / window)
+
+    def test_trace_ending_in_warmup_gives_zero_ipc(self):
+        records = iter([TraceRecord(0, AccessType.LOAD, 0)] * 10)
+        core = make_core(records, quota=100, warmup=1_000)
+        while core.step():
+            pass
+        assert core.done
+        assert core.measured_instructions() == 0
+        assert core.ipc() == 0.0
+
+
+class TestPrefetcherWiring:
+    def test_prefetcher_triggers_on_l2_misses(self):
+        core = make_core(strided_trace(64), quota=2_000, prefetch=True)
+        while not core.done:
+            core.step()
+        from repro.coherence import MessageType
+
+        assert core.prefetcher is not None
+        assert core.prefetcher.prefetches_issued > 0
+        # Prefetched lines actually landed in the L2.
+        assert core.hierarchy.traffic.counts[MessageType.PREFETCH] > 0
+
+    def test_prefetching_reduces_stream_misses(self):
+        def demand_misses(prefetch):
+            core = make_core(
+                strided_trace(64), quota=4_000, warmup=500, prefetch=prefetch
+            )
+            while not core.done:
+                core.step()
+            return core.hierarchy.core_stats[0].l2_misses
+
+        assert demand_misses(True) < demand_misses(False)
+
+    def test_no_prefetcher_by_default(self):
+        core = make_core(looping_trace(4))
+        assert core.prefetcher is None

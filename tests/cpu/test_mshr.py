@@ -1,0 +1,59 @@
+"""Unit tests for the MSHR occupancy model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hierarchy import MSHRFile
+
+
+class TestMSHRFile:
+    def test_allocation_without_contention(self):
+        mshr = MSHRFile(4)
+        assert mshr.allocate(now=100, latency=150) == 100
+        assert mshr.stats.stalls == 0
+
+    def test_full_file_delays_issue(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(0, 100)  # completes at 100
+        mshr.allocate(0, 100)
+        issue = mshr.allocate(10, 100)
+        assert issue == 100  # waited for the earliest completion
+        assert mshr.stats.stalls == 1
+        assert mshr.stats.stall_cycles == 90
+
+    def test_completed_entries_are_freed(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(0, 50)
+        assert mshr.allocate(60, 50) == 60  # entry already free
+        assert mshr.stats.stalls == 0
+
+    def test_occupancy(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0, 100)
+        mshr.allocate(0, 200)
+        assert mshr.occupancy(50) == 2
+        assert mshr.occupancy(150) == 1
+        assert mshr.occupancy(250) == 0
+
+    def test_peak_occupancy_tracked(self):
+        mshr = MSHRFile(8)
+        for _ in range(5):
+            mshr.allocate(0, 1000)
+        assert mshr.stats.peak_occupancy == 5
+
+    def test_reset(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(0, 100)
+        mshr.reset()
+        assert mshr.occupancy(0) == 0
+        assert mshr.stats.allocations == 0
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MSHRFile(0)
+
+    def test_serialization_under_sustained_pressure(self):
+        """With one entry, misses serialise completely."""
+        mshr = MSHRFile(1)
+        issue_times = [mshr.allocate(0, 100) for _ in range(4)]
+        assert issue_times == [0, 100, 200, 300]

@@ -1,0 +1,67 @@
+"""Unit tests for SimResult / CoreResult aggregation."""
+
+import pytest
+
+from repro.cpu import CMPSimulator
+from repro.workloads.synthetic import looping_trace, strided_trace
+from tests.conftest import tiny_sim_config
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = tiny_sim_config(num_cores=2, quota=2_000)
+    traces = [looping_trace(4), strided_trace(64, base_address=1 << 30)]
+    return CMPSimulator(config, traces).run()
+
+
+class TestSimResult:
+    def test_core_results_ordered(self, result):
+        assert [core.core_id for core in result.cores] == [0, 1]
+
+    def test_ipcs_property(self, result):
+        assert result.ipcs == [core.ipc for core in result.cores]
+
+    def test_total_llc_misses_sums_cores(self, result):
+        assert result.total_llc_misses == sum(
+            core.stats.llc_misses for core in result.cores
+        )
+
+    def test_total_llc_accesses(self, result):
+        assert result.total_llc_accesses >= result.total_llc_misses
+
+    def test_total_instructions(self, result):
+        assert result.total_instructions == 4_000
+
+    def test_max_cycles_is_slowest_core(self, result):
+        assert result.max_cycles == max(core.cycles for core in result.cores)
+
+    def test_core_mpki_helper(self, result):
+        streaming = result.cores[1]
+        assert streaming.mpki("llc") > 0
+        assert streaming.mpki("l1") >= streaming.mpki("l2")
+
+    def test_tla_name_recorded(self, result):
+        assert result.tla_name == "none"
+
+    def test_traffic_is_plain_dict(self, result):
+        assert isinstance(result.traffic, dict)
+        assert all(isinstance(k, str) for k in result.traffic)
+
+
+class TestCoreAccessStatsHelpers:
+    def test_mpki_levels(self, result):
+        stats = result.cores[1].stats
+        instructions = result.cores[1].instructions
+        assert stats.mpki("l1", instructions) == pytest.approx(
+            1000.0 * stats.l1_misses / instructions
+        )
+        assert stats.mpki("l1i", instructions) >= 0
+        assert stats.mpki("l1d", instructions) >= 0
+
+    def test_mpki_zero_instructions(self, result):
+        assert result.cores[0].stats.mpki("llc", 0) == 0.0
+
+    def test_l1_aggregates(self, result):
+        stats = result.cores[0].stats
+        assert stats.l1_accesses == stats.l1i_accesses + stats.l1d_accesses
+        assert stats.l1_misses == stats.l1i_misses + stats.l1d_misses

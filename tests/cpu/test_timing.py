@@ -1,0 +1,141 @@
+"""Unit tests for the analytic core timing model."""
+
+import pytest
+
+from repro.access import AccessType
+from repro.config import TimingConfig
+from repro.cpu import CoreTimingModel
+from repro.hierarchy import HIT_L1, HIT_L2, HIT_LLC, HIT_MEMORY
+from repro.hierarchy.mshr import MSHRFile
+
+
+def model(**kwargs) -> CoreTimingModel:
+    return CoreTimingModel(TimingConfig(**kwargs))
+
+
+class TestBasicAccounting:
+    def test_advance_charges_base_cpi(self):
+        m = model()
+        m.advance(100)
+        assert m.instructions == 100
+        assert m.cycles == pytest.approx(100 * 0.25)
+
+    def test_advance_zero_is_noop(self):
+        m = model()
+        m.advance(0)
+        assert m.instructions == 0
+        assert m.cycles == 0
+
+    def test_l1_hit_costs_only_base_cpi(self):
+        m = model()
+        m.record_access(HIT_L1, AccessType.LOAD)
+        assert m.cycles == pytest.approx(0.25)
+        assert m.instructions == 1
+
+    def test_memory_miss_exposes_partial_latency(self):
+        m = model()
+        m.record_access(HIT_MEMORY, AccessType.LOAD)
+        expected = 0.25 + 0.85 * (24 + 150)
+        assert m.cycles == pytest.approx(expected)
+
+    def test_l2_hit_cheaper_than_llc_hit(self):
+        a, b = model(), model()
+        a.record_access(HIT_L2, AccessType.LOAD)
+        b.record_access(HIT_LLC, AccessType.LOAD)
+        assert a.cycles < b.cycles
+
+    def test_store_nearly_free(self):
+        load, store = model(), model()
+        load.record_access(HIT_MEMORY, AccessType.LOAD)
+        store.record_access(HIT_MEMORY, AccessType.STORE)
+        assert store.cycles < load.cycles * 0.2
+
+    def test_ifetch_fully_exposed(self):
+        m = model()
+        m.record_access(HIT_MEMORY, AccessType.IFETCH)
+        assert m.cycles == pytest.approx(0.25 + 1.0 * 174)
+
+
+class TestMemoryLevelParallelism:
+    def test_clustered_misses_overlap(self):
+        """The second of two back-to-back misses is discounted."""
+        m = model()
+        m.record_access(HIT_MEMORY, AccessType.LOAD)
+        first = m.cycles
+        m.record_access(HIT_MEMORY, AccessType.LOAD)
+        second_cost = m.cycles - first
+        assert second_cost < first
+
+    def test_streaming_misses_approach_high_mlp(self):
+        """Ten back-to-back misses cost far less than 10x one miss."""
+        isolated = model()
+        isolated.record_access(HIT_MEMORY, AccessType.LOAD)
+        per_miss_isolated = isolated.cycles
+        stream = model()
+        for _ in range(10):
+            stream.record_access(HIT_MEMORY, AccessType.LOAD)
+        assert stream.cycles < 0.6 * 10 * per_miss_isolated
+
+    def test_spread_misses_pay_full_price(self):
+        """Misses separated by long compute don't overlap."""
+        m = model()
+        total = 0.0
+        for _ in range(3):
+            before = m.cycles
+            m.record_access(HIT_MEMORY, AccessType.LOAD)
+            total += m.cycles - before
+            m.advance(10_000)  # outstanding miss returns long before
+        assert total == pytest.approx(3 * (0.25 + 0.85 * 174))
+
+    def test_rob_limit_forces_full_stall(self):
+        """An unresolved miss stalls retirement after rob_window instrs."""
+        m = model(rob_window=8, load_exposure=0.0)
+        m.record_access(HIT_MEMORY, AccessType.LOAD)
+        # With zero exposure the miss is initially free...
+        assert m.cycles == pytest.approx(0.25)
+        m.advance(7)
+        # ...but the next access trips the ROB-full stall.
+        m.record_access(HIT_L2, AccessType.LOAD)
+        assert m.cycles >= 174
+
+
+class TestDrainAndIPC:
+    def test_drain_waits_for_outstanding(self):
+        m = model(load_exposure=0.0)
+        m.record_access(HIT_MEMORY, AccessType.LOAD)
+        m.drain()
+        assert m.cycles >= 174
+
+    def test_drain_idempotent(self):
+        m = model()
+        m.record_access(HIT_MEMORY, AccessType.LOAD)
+        m.drain()
+        cycles = m.cycles
+        m.drain()
+        assert m.cycles == cycles
+
+    def test_ipc(self):
+        m = model()
+        m.advance(400)
+        assert m.ipc == pytest.approx(4.0)
+
+    def test_ipc_zero_cycles(self):
+        assert model().ipc == 0.0
+
+
+class TestMSHRIntegration:
+    def test_mshr_contention_delays_issue(self):
+        # Zero exposure: the core streams misses without stalling, so
+        # they pile up in the MSHR file and the third one must wait.
+        mshr = MSHRFile(2)
+        m = CoreTimingModel(TimingConfig(load_exposure=0.0), mshr)
+        for _ in range(3):
+            m.record_access(HIT_MEMORY, AccessType.LOAD)
+        assert mshr.stats.stalls >= 1
+
+    def test_l2_hits_bypass_mshr(self):
+        mshr = MSHRFile(1)
+        m = CoreTimingModel(TimingConfig(), mshr)
+        for _ in range(5):
+            m.record_access(HIT_L2, AccessType.LOAD)
+        assert mshr.stats.allocations == 0

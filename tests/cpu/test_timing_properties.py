@@ -1,0 +1,102 @@
+"""Property-based tests for the timing model (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.access import AccessType
+from repro.config import TimingConfig
+from repro.cpu import CoreTimingModel
+from repro.hierarchy import HIT_L1, HIT_L2, HIT_LLC, HIT_MEMORY
+
+EVENTS = st.lists(
+    st.one_of(
+        st.tuples(st.just("advance"), st.integers(0, 50)),
+        st.tuples(
+            st.just("access"),
+            st.tuples(
+                st.sampled_from([HIT_L1, HIT_L2, HIT_LLC, HIT_MEMORY]),
+                st.sampled_from(list(AccessType)),
+            ),
+        ),
+    ),
+    max_size=150,
+)
+
+
+def run_events(model, events):
+    for kind, payload in events:
+        if kind == "advance":
+            model.advance(payload)
+        else:
+            level, access_kind = payload
+            model.record_access(level, access_kind)
+
+
+class TestTimingInvariants:
+    @given(events=EVENTS)
+    @settings(max_examples=80, deadline=None)
+    def test_cycles_monotone(self, events):
+        model = CoreTimingModel(TimingConfig())
+        last = 0.0
+        for kind, payload in events:
+            if kind == "advance":
+                model.advance(payload)
+            else:
+                model.record_access(*payload)
+            assert model.cycles >= last
+            last = model.cycles
+
+    @given(events=EVENTS)
+    @settings(max_examples=80, deadline=None)
+    def test_instruction_count_exact(self, events):
+        model = CoreTimingModel(TimingConfig())
+        expected = 0
+        for kind, payload in events:
+            if kind == "advance":
+                expected += payload
+            else:
+                expected += 1
+        run_events(model, events)
+        assert model.instructions == expected
+
+    @given(events=EVENTS)
+    @settings(max_examples=80, deadline=None)
+    def test_ipc_bounded_by_width(self, events):
+        model = CoreTimingModel(TimingConfig())
+        run_events(model, events)
+        if model.cycles > 0:
+            assert model.ipc <= 1.0 / TimingConfig().base_cpi + 1e-9
+
+    @given(events=EVENTS)
+    @settings(max_examples=60, deadline=None)
+    def test_cycles_at_least_issue_bound(self, events):
+        model = CoreTimingModel(TimingConfig())
+        run_events(model, events)
+        assert model.cycles >= model.instructions * TimingConfig().base_cpi - 1e-6
+
+    @given(events=EVENTS)
+    @settings(max_examples=60, deadline=None)
+    def test_drain_never_decreases_cycles(self, events):
+        model = CoreTimingModel(TimingConfig())
+        run_events(model, events)
+        before = model.cycles
+        model.drain()
+        assert model.cycles >= before
+
+    @given(events=EVENTS)
+    @settings(max_examples=40, deadline=None)
+    def test_memory_misses_dominate_l1_hits(self, events):
+        """Replaying the same stream with every miss downgraded to an
+        L1 hit can only get faster."""
+        slow = CoreTimingModel(TimingConfig())
+        fast = CoreTimingModel(TimingConfig())
+        for kind, payload in events:
+            if kind == "advance":
+                slow.advance(payload)
+                fast.advance(payload)
+            else:
+                level, access_kind = payload
+                slow.record_access(level, access_kind)
+                fast.record_access(HIT_L1, access_kind)
+        slow.drain()
+        fast.drain()
+        assert slow.cycles >= fast.cycles - 1e-6

@@ -1,0 +1,93 @@
+"""End-to-end driver tests at miniature settings.
+
+The benchmark harness runs every driver at the real experiment
+settings; these tests run a representative subset at toy settings so
+plain ``pytest tests/`` exercises the full driver code paths (report
+formatting included) in seconds.  No shape assertions here — just
+structure and sanity.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    Runner,
+    fairness_study,
+    figure6,
+    figure9,
+    snoop_study,
+    table1,
+    victim_cache_study,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_runner(tmp_path_factory):
+    return Runner(
+        ExperimentSettings(
+            scale=0.0625,
+            quota=12_000,
+            warmup=3_000,
+            sample=3,
+            cache_dir=str(tmp_path_factory.mktemp("cache")),
+        )
+    )
+
+
+class TestDriversRun:
+    def test_table1_structure(self, tiny_runner):
+        result = table1(runner=tiny_runner)
+        assert len(result["rows"]) == 15
+        assert "Table I" in result["report"]
+        for row in result["rows"]:
+            assert row["l1_mpki"] >= row["l2_mpki"] >= row["llc_mpki"] >= 0
+
+    def test_figure6_structure(self, tiny_runner):
+        result = figure6(runner=tiny_runner)
+        assert set(result["per_mix"]) == {f"MIX_{i:02d}" for i in range(12)}
+        assert len(result["scurve"]) == 3
+        assert "ECI" in result["report"]
+        for values in result["per_mix"].values():
+            assert values["eci"] > 0.5
+
+    def test_figure9_structure(self, tiny_runner):
+        result = figure9(runner=tiny_runner)
+        assert set(result["inclusive_base"]) >= {"tlh-l1", "eci", "qbs"}
+        assert set(result["non_inclusive_base"]) >= {"tlh-l1", "eci", "qbs"}
+
+    def test_victim_cache_structure(self, tiny_runner):
+        result = victim_cache_study(runner=tiny_runner, entries=4)
+        assert result["entries"] == 4
+        assert set(result["aggregate"]) == {
+            "victim_cache", "eci", "qbs", "non_inclusive",
+        }
+
+    def test_fairness_structure(self, tiny_runner):
+        result = fairness_study(runner=tiny_runner)
+        for values in result["per_mix"].values():
+            assert values["throughput_gain"] > 0
+            assert values["weighted_speedup_gain"] > 0
+            assert values["hmean_fairness_gain"] > 0
+
+    def test_snoop_structure(self, tiny_runner):
+        result = snoop_study(runner=tiny_runner)
+        assert result["totals"]["non_inclusive_probes"] >= 0
+        assert len(result["rows"]) == 12
+
+    def test_figure3_self_contained(self):
+        from repro.experiments import figure3
+
+        result = figure3(length=60)
+        assert result["results"]["baseline"]["inclusion_victims"] > 0
+        assert result["results"]["qbs"]["inclusion_victims"] == 0
+        assert "Figure 3" in result["report"]
+
+    def test_figure2_structure(self, tiny_runner):
+        from repro.experiments import figure2
+        from repro.workloads import mix_by_name
+
+        result = figure2(runner=tiny_runner, mixes=[mix_by_name("MIX_10")])
+        assert set(result["series"]) == {"non_inclusive", "exclusive"}
+        assert result["ratios"] == ["1:2", "1:4", "1:8", "1:16"]
+        for values in result["series"].values():
+            assert all(v > 0.5 for v in values.values())

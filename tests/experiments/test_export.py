@@ -1,0 +1,69 @@
+"""Tests for experiment result export (JSON/CSV)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import export
+
+
+class TestFlatten:
+    def test_per_mix(self):
+        rows = export.flatten_per_mix({"MIX_10": {"qbs": 1.1, "eci": 1.05}})
+        assert rows == [{"mix": "MIX_10", "qbs": 1.1, "eci": 1.05}]
+
+    def test_series(self):
+        rows = export.flatten_series({"qbs": {"1:2": 1.2, "1:4": 1.1}})
+        assert rows[0]["policy"] == "qbs"
+        assert rows[0]["1:2"] == 1.2
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        rows = export.flatten_per_mix(
+            {"A": {"x": 1.0}, "B": {"x": 2.0, "y": 3.0}}
+        )
+        path = tmp_path / "out.csv"
+        assert export.to_csv(rows, path) == 2
+        with open(path) as handle:
+            read_back = list(csv.DictReader(handle))
+        assert read_back[0]["mix"] == "A"
+        assert read_back[1]["y"] == "3.0"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            export.to_csv([], tmp_path / "out.csv")
+
+    def test_union_of_columns(self, tmp_path):
+        rows = [{"mix": "A", "x": 1}, {"mix": "B", "z": 2}]
+        export.to_csv(rows, tmp_path / "out.csv")
+        header = open(tmp_path / "out.csv").readline().strip().split(",")
+        assert header == ["mix", "x", "z"]
+
+
+class TestJSON:
+    def test_driver_result_roundtrip(self, tmp_path):
+        from repro.experiments import figure3
+
+        result = figure3(length=40)
+        path = tmp_path / "fig3.json"
+        export.to_json(result, path)
+        data = json.loads(path.read_text())
+        assert "results" in data
+        assert "report" in data
+        assert data["results"]["qbs"]["inclusion_victims"] == 0
+
+    def test_unserialisable_values_dropped(self, tmp_path):
+        path = tmp_path / "out.json"
+        export.to_json({"good": 1, "bad": object()}, path)
+        data = json.loads(path.read_text())
+        assert data == {"good": 1}
+
+    def test_tuples_and_sets_coerced(self, tmp_path):
+        path = tmp_path / "out.json"
+        export.to_json({"t": (1, 2), "s": {3, 1}}, path)
+        data = json.loads(path.read_text())
+        assert data["t"] == [1, 2]
+        assert data["s"] == [1, 3]

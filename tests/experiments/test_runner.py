@@ -1,0 +1,162 @@
+"""Tests for the experiment runner (caching, settings, sampling).
+
+Simulations here use drastically reduced windows so the module runs
+in seconds; correctness of the numbers is covered by the benchmark
+harness, and these tests cover the machinery.
+"""
+
+import pytest
+
+from repro.config import MB, TLAConfig
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentSettings, Runner
+from repro.workloads import WorkloadMix, mix_by_name
+
+
+def tiny_settings(tmp_path, **kwargs):
+    defaults = dict(
+        scale=0.0625,
+        quota=20_000,
+        warmup=5_000,
+        sample=4,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    defaults.update(kwargs)
+    return ExperimentSettings(**defaults)
+
+
+class TestSettings:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.125")
+        monkeypatch.setenv("REPRO_QUOTA", "1234")
+        monkeypatch.setenv("REPRO_WARMUP", "55")
+        monkeypatch.setenv("REPRO_SAMPLE", "7")
+        settings = ExperimentSettings.from_env()
+        assert settings.scale == 0.125
+        assert settings.quota == 1234
+        assert settings.warmup == 55
+        assert settings.sample == 7
+        assert not settings.full
+
+    def test_full_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        monkeypatch.delenv("REPRO_SAMPLE", raising=False)
+        monkeypatch.delenv("REPRO_QUOTA", raising=False)
+        settings = ExperimentSettings.from_env()
+        assert settings.full
+        assert settings.sample == 105
+
+
+class TestRunnerCaching:
+    def test_memory_cache_hits(self, tmp_path):
+        runner = Runner(tiny_settings(tmp_path))
+        mix = mix_by_name("MIX_01")
+        first = runner.run(mix)
+        second = runner.run(mix)
+        assert first is second  # same object: memory cache
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        settings = tiny_settings(tmp_path)
+        mix = mix_by_name("MIX_01")
+        first = Runner(settings).run(mix)
+        # A fresh Runner must reload from disk, not recompute.
+        reloaded = Runner(settings).run(mix)
+        assert reloaded.ipcs == first.ipcs
+        assert reloaded.traffic == first.traffic
+
+    def test_cache_keys_distinguish_variants(self, tmp_path):
+        runner = Runner(tiny_settings(tmp_path))
+        mix = mix_by_name("MIX_01")
+        base = runner.run(mix, mode="inclusive")
+        ni = runner.run(mix, mode="non_inclusive")
+        assert base is not ni
+        assert base.mode != ni.mode
+
+    def test_custom_tla_config_keyed_by_label(self, tmp_path):
+        runner = Runner(tiny_settings(tmp_path))
+        mix = mix_by_name("MIX_01")
+        a = runner.run(
+            mix,
+            tla="qbs-q1",
+            tla_config=TLAConfig(policy="qbs", max_queries=1),
+        )
+        b = runner.run(
+            mix,
+            tla="qbs-q2",
+            tla_config=TLAConfig(policy="qbs", max_queries=2),
+        )
+        assert a is not b
+
+    def test_no_cache_dir_still_works(self, tmp_path):
+        runner = Runner(tiny_settings(tmp_path, cache_dir=None))
+        result = runner.run(mix_by_name("MIX_01"))
+        assert result.throughput > 0
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        settings = tiny_settings(tmp_path)
+        runner = Runner(settings)
+        mix = mix_by_name("MIX_01")
+        runner.run(mix)
+        # Corrupt every cache file.
+        for path in (tmp_path / "cache").glob("*.json"):
+            path.write_text("{not json")
+        fresh = Runner(settings).run(mix)
+        assert fresh.throughput > 0
+
+
+class TestDerivedMeasures:
+    def test_normalized_throughput_self_is_one(self, tmp_path):
+        runner = Runner(tiny_settings(tmp_path))
+        mix = mix_by_name("MIX_01")
+        assert runner.normalized_throughput(
+            mix, mode="inclusive", tla="none"
+        ) == pytest.approx(1.0)
+
+    def test_miss_reduction_self_is_zero(self, tmp_path):
+        runner = Runner(tiny_settings(tmp_path))
+        mix = mix_by_name("MIX_01")
+        assert runner.miss_reduction(mix) == pytest.approx(0.0)
+
+    def test_llc_size_override(self, tmp_path):
+        runner = Runner(tiny_settings(tmp_path))
+        mix = mix_by_name("MIX_00")
+        small = runner.run(mix, llc_bytes=1 * MB)
+        large = runner.run(mix, llc_bytes=8 * MB)
+        assert small.llc_misses >= large.llc_misses
+
+
+class TestSampling:
+    def test_sample_size_respected(self, tmp_path):
+        runner = Runner(tiny_settings(tmp_path, sample=10))
+        sample = runner.sample_mixes()
+        assert len(sample) == 10
+
+    def test_sample_is_deterministic(self, tmp_path):
+        a = Runner(tiny_settings(tmp_path)).sample_mixes()
+        b = Runner(tiny_settings(tmp_path)).sample_mixes()
+        assert [m.name for m in a] == [m.name for m in b]
+
+    def test_full_sample_is_105(self, tmp_path):
+        runner = Runner(tiny_settings(tmp_path, sample=200))
+        assert len(runner.sample_mixes()) == 105
+
+    def test_sample_covers_categories(self, tmp_path):
+        runner = Runner(tiny_settings(tmp_path, sample=20))
+        categories = set()
+        for mix in runner.sample_mixes():
+            categories.update(mix.categories)
+        assert categories == {"CCF", "LLCF", "LLCT"}
+
+
+class TestRegistry:
+    def test_unknown_experiment_raises(self):
+        from repro.experiments import run_experiment
+
+        with pytest.raises(ExperimentError):
+            run_experiment("figure99")
+
+    def test_table2_runs_without_simulation(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("table2")
+        assert len(result["rows"]) == 12

@@ -1,0 +1,106 @@
+"""Tests for hierarchy construction from configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import TLAConfig
+from repro.core import (
+    EarlyCoreInvalidation,
+    QueryBasedSelection,
+    TemporalLocalityHints,
+)
+from repro.errors import ConfigurationError
+from repro.hierarchy import (
+    ExclusiveHierarchy,
+    InclusiveHierarchy,
+    NonInclusiveHierarchy,
+    build_hierarchy,
+)
+from tests.conftest import tiny_hierarchy
+
+
+class TestModeSelection:
+    def test_inclusive(self):
+        h = build_hierarchy(tiny_hierarchy("inclusive"))
+        assert type(h) is InclusiveHierarchy
+        assert h.mode == "inclusive"
+
+    def test_non_inclusive(self):
+        h = build_hierarchy(tiny_hierarchy("non_inclusive"))
+        assert type(h) is NonInclusiveHierarchy
+
+    def test_exclusive(self):
+        h = build_hierarchy(tiny_hierarchy("exclusive"))
+        assert type(h) is ExclusiveHierarchy
+
+    def test_victim_cache_variant(self):
+        from repro.hierarchy.victim import VictimCacheInclusiveHierarchy
+
+        config = dataclasses.replace(
+            tiny_hierarchy("inclusive"), victim_cache_entries=8
+        )
+        h = build_hierarchy(config)
+        assert isinstance(h, VictimCacheInclusiveHierarchy)
+        assert h.victim_cache.num_entries == 8
+
+
+class TestTLAAttachment:
+    def test_none_policy_by_default(self):
+        h = build_hierarchy(tiny_hierarchy("inclusive"))
+        assert h.tla.name == "none"
+
+    @pytest.mark.parametrize(
+        "policy,cls",
+        [
+            ("tlh", TemporalLocalityHints),
+            ("eci", EarlyCoreInvalidation),
+            ("qbs", QueryBasedSelection),
+        ],
+    )
+    def test_policy_attached(self, policy, cls):
+        config = tiny_hierarchy("inclusive", tla=TLAConfig(policy=policy))
+        h = build_hierarchy(config)
+        assert isinstance(h.tla, cls)
+        assert h.tla.hierarchy is h
+
+    def test_tla_parameters_forwarded(self):
+        config = tiny_hierarchy(
+            "inclusive",
+            tla=TLAConfig(
+                policy="qbs", levels=("il1",), max_queries=3, back_invalidate=True
+            ),
+        )
+        h = build_hierarchy(config)
+        assert h.tla.levels == frozenset({"il1"})
+        assert h.tla.max_queries == 3
+        assert h.tla.back_invalidate
+
+    def test_tla_on_non_inclusive_allowed(self):
+        """Figure 9b needs TLA policies on a non-inclusive baseline."""
+        config = tiny_hierarchy("non_inclusive", tla=TLAConfig(policy="qbs"))
+        h = build_hierarchy(config)
+        assert isinstance(h.tla, QueryBasedSelection)
+
+    def test_tla_on_exclusive_rejected(self):
+        config = tiny_hierarchy("exclusive", tla=TLAConfig(policy="tlh"))
+        with pytest.raises(ConfigurationError):
+            build_hierarchy(config)
+
+
+class TestGeometryWiring:
+    def test_core_count(self):
+        h = build_hierarchy(tiny_hierarchy("inclusive", num_cores=4))
+        assert len(h.cores) == 4
+        assert len(h.core_stats) == 4
+        assert h.directory.num_cores == 4
+
+    def test_llc_replacement_policy_honoured(self):
+        h = build_hierarchy(
+            tiny_hierarchy("inclusive", llc_replacement="srrip")
+        )
+        assert h.llc.policy.name == "srrip"
+
+    def test_line_shift_propagated(self):
+        h = build_hierarchy(tiny_hierarchy("inclusive"))
+        assert h.line_shift == 6

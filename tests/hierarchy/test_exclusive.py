@@ -1,0 +1,110 @@
+"""Behavioural tests for the exclusive hierarchy controller."""
+
+import random
+
+from repro.access import AccessType
+from repro.coherence import MessageType
+from repro.hierarchy import HIT_L1, HIT_LLC, HIT_MEMORY, build_hierarchy
+from tests.conftest import tiny_hierarchy
+
+LINE = 64
+
+
+def make(num_cores=1, **kwargs):
+    return build_hierarchy(tiny_hierarchy("exclusive", num_cores=num_cores, **kwargs))
+
+
+def addr(line: int) -> int:
+    return line * LINE
+
+
+class TestExclusiveSemantics:
+    def test_miss_fills_core_caches_not_llc(self):
+        h = make()
+        assert h.access(0, addr(1)) == HIT_MEMORY
+        assert h.cores[0].l1d.contains(1)
+        assert not h.llc.contains(1)
+
+    def test_llc_filled_by_l2_eviction(self):
+        h = make()
+        # Thrash L1D set 0 and L2 set 0 until the L2 spills to the LLC.
+        for i in range(40):
+            h.access(0, addr(i * 4))
+        assert h.llc.occupancy() > 0
+        assert h.traffic.counts[MessageType.EXCLUSIVE_FILL] > 0
+
+    def test_llc_hit_invalidates_llc_copy(self):
+        h = make()
+        # Fill enough conflicting lines that line 0 migrates to the LLC.
+        lines = [i * 4 for i in range(40)]
+        for line in lines:
+            h.access(0, addr(line))
+        resident = [line for line in lines if h.llc.contains(line)]
+        assert resident, "expected some lines to reach the exclusive LLC"
+        target = resident[0]
+        assert h.access(0, addr(target)) == HIT_LLC
+        assert not h.llc.contains(target)
+        assert h.cores[0].l1d.contains(target)
+
+    def test_exclusion_invariant_random_stream(self):
+        # Cores use disjoint address spaces, matching the
+        # multi-programmed (no-sharing) methodology of the paper.
+        rng = random.Random(5)
+        h = make(num_cores=2)
+        for _ in range(3000):
+            core = rng.randrange(2)
+            h.access(
+                core,
+                addr(rng.randrange(200)) + core * (1 << 30),
+                rng.choice([AccessType.LOAD, AccessType.STORE]),
+            )
+            if rng.random() < 0.01:
+                h.check_invariants()
+        h.check_invariants()
+
+    def test_no_inclusion_victims(self):
+        h = make()
+        for i in range(200):
+            h.access(0, addr(i * 8))
+        assert h.total_inclusion_victims == 0
+
+    def test_capacity_exceeds_llc(self):
+        """Exclusive hierarchy holds more distinct lines than the LLC."""
+        h = make()
+        llc_lines = h.llc.config.num_lines
+        for line in range(llc_lines + 20):
+            h.access(0, addr(line))
+        total = h.llc.occupancy() + h.cores[0].occupancy()
+        assert total > llc_lines
+
+    def test_dirty_data_follows_line_out_of_llc(self):
+        h = make()
+        h.access(0, addr(0), AccessType.STORE)
+        # Migrate line 0 to the LLC via conflict pressure.
+        for i in range(1, 40):
+            h.access(0, addr(i * 4))
+        if h.llc.contains(0):
+            assert h.llc.is_dirty(0)
+            # Re-reference: the dirty bit must migrate back to the L1.
+            h.access(0, addr(0))
+            assert h.cores[0].l1d.is_dirty(0)
+
+    def test_hot_line_never_suffers(self):
+        h = make()
+        target = 8
+        h.access(0, addr(target))
+        for i in range(2, 40):
+            h.access(0, addr(i * 8))
+            assert h.access(0, addr(target)) == HIT_L1
+
+
+class TestBuilderRestrictions:
+    def test_tla_on_exclusive_rejected(self):
+        import pytest
+
+        from repro.config import TLAConfig
+        from repro.errors import ConfigurationError
+
+        config = tiny_hierarchy("exclusive", tla=TLAConfig(policy="qbs"))
+        with pytest.raises(ConfigurationError):
+            build_hierarchy(config)

@@ -1,0 +1,119 @@
+"""Unit tests for the per-core cache bundle (CoreCaches)."""
+
+import pytest
+
+from repro.cache.line import EvictedLine
+from repro.errors import ConfigurationError
+from repro.hierarchy.levels import CoreCaches
+from tests.conftest import tiny_hierarchy
+
+
+def make() -> CoreCaches:
+    return CoreCaches(0, tiny_hierarchy("inclusive", num_cores=1))
+
+
+class TestKindMapping:
+    def test_cache_for_kind(self):
+        core = make()
+        assert core.cache_for_kind("il1") is core.l1i
+        assert core.cache_for_kind("dl1") is core.l1d
+        assert core.cache_for_kind("l2") is core.l2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make().cache_for_kind("l3")
+
+    def test_l1_for(self):
+        core = make()
+        assert core.l1_for(True) is core.l1i
+        assert core.l1_for(False) is core.l1d
+
+
+class TestResidency:
+    def test_holds_any_level(self):
+        core = make()
+        core.l1d.fill(5)
+        assert core.holds(5)
+        assert core.holds(5, ("dl1",))
+        assert not core.holds(5, ("il1",))
+        assert not core.holds(5, ("l2",))
+
+    def test_holding_kinds(self):
+        core = make()
+        core.l1i.fill(7)
+        core.l2.fill(7)
+        assert core.holding_kinds(7) == ["il1", "l2"]
+
+    def test_resident_lines_deduplicates(self):
+        core = make()
+        core.l1d.fill(3)
+        core.l2.fill(3)
+        core.l1i.fill(4)
+        assert sorted(core.resident_lines()) == [3, 4]
+
+    def test_occupancy(self):
+        core = make()
+        core.l1d.fill(1)
+        core.l1i.fill(2)
+        core.l2.fill(3)
+        assert core.occupancy() == 3
+
+
+class TestInvalidateAll:
+    def test_removes_from_every_cache(self):
+        core = make()
+        core.l1d.fill(9)
+        core.l2.fill(9)
+        present, dirty = core.invalidate_all(9)
+        assert present
+        assert not dirty
+        assert not core.holds(9)
+
+    def test_reports_dirty(self):
+        core = make()
+        core.l1d.fill(9, dirty=True)
+        present, dirty = core.invalidate_all(9)
+        assert present and dirty
+
+    def test_absent_line(self):
+        present, dirty = make().invalidate_all(0x123)
+        assert not present and not dirty
+
+
+class TestFillAndSpill:
+    def test_fill_l1_returns_victim(self):
+        core = make()
+        # L1D: 4 sets x 4 ways; five same-set lines force a victim.
+        victims = [core.fill_l1(line, False) for line in (0, 4, 8, 12, 16)]
+        assert victims[:4] == [None] * 4
+        assert victims[4] is not None
+        assert victims[4].line_addr == 0
+
+    def test_fill_does_not_touch_l2(self):
+        core = make()
+        core.fill_l1(0, False)
+        assert core.l2.occupancy() == 0
+
+    def test_spill_into_l2(self):
+        core = make()
+        displaced = core.spill_into_l2(EvictedLine(5, True))
+        assert displaced is None
+        assert core.l2.contains(5)
+        assert core.l2.is_dirty(5)
+
+    def test_spill_merges_dirty_into_resident_line(self):
+        core = make()
+        core.spill_into_l2(EvictedLine(5, False))
+        core.spill_into_l2(EvictedLine(5, True))
+        assert core.l2.is_dirty(5)
+        assert core.l2.occupancy() == 1
+
+    def test_spill_returns_displaced_l2_line(self):
+        core = make()
+        # L2: 4 sets x 8 ways; nine same-set spills displace one.
+        displaced = [
+            core.spill_into_l2(EvictedLine(line, False))
+            for line in range(0, 9 * 4, 4)
+        ]
+        assert displaced[-1] is not None
+        assert all(d is None for d in displaced[:-1])

@@ -1,0 +1,89 @@
+"""Tests for the inclusive hierarchy backed by a victim cache."""
+
+import dataclasses
+
+from repro.access import AccessType
+from repro.hierarchy import HIT_L1, HIT_LLC, HIT_MEMORY, build_hierarchy
+from repro.hierarchy.victim import VictimCacheInclusiveHierarchy
+from tests.conftest import tiny_hierarchy
+
+LINE = 64
+
+
+def make(entries=8, num_cores=1):
+    config = dataclasses.replace(
+        tiny_hierarchy("inclusive", num_cores=num_cores),
+        victim_cache_entries=entries,
+    )
+    return build_hierarchy(config)
+
+
+def addr(line: int) -> int:
+    return line * LINE
+
+
+class TestVictimCacheHierarchy:
+    def test_builder_selects_subclass(self):
+        assert isinstance(make(), VictimCacheInclusiveHierarchy)
+
+    def test_evicted_lines_land_in_victim_cache(self):
+        h = make(entries=8)
+        for i in range(1, 20):  # thrash LLC set 0 (16 ways)
+            h.access(0, addr(i * 8))
+        assert len(h.victim_cache) > 0
+
+    def test_victim_cache_hit_avoids_memory(self):
+        h = make(entries=32)
+        # Fill set 0 beyond capacity so early lines spill into the VC.
+        lines = [i * 8 for i in range(1, 20)]
+        for line in lines:
+            h.access(0, addr(line))
+        rescued = [line for line in lines if h.victim_cache.contains(line)]
+        assert rescued
+        target = rescued[0]
+        level = h.access(0, addr(target))
+        assert level == HIT_LLC  # served by the VC swap, not memory
+        assert h.llc.contains(target)
+        assert not h.victim_cache.contains(target)
+
+    def test_inclusion_still_enforced(self):
+        h = make(entries=8)
+        h.access(0, addr(8))
+        for i in range(2, 40):
+            h.access(0, addr(i * 8))
+            h.access(0, addr(8))
+        h.check_invariants()
+        # Victim-cache-resident lines are never core-resident.
+        for line in list(h.victim_cache._entries):
+            assert not h.cores[0].holds(line)
+
+    def test_back_invalidations_still_counted(self):
+        h = make(entries=4)
+        h.access(0, addr(8))
+        for i in range(2, 40):
+            h.access(0, addr(i * 8))
+            h.access(0, addr(8))
+        assert h.total_inclusion_victims > 0
+
+    def test_dirty_data_preserved_through_victim_cache(self):
+        h = make(entries=32)
+        h.access(0, addr(8), AccessType.STORE)
+        # Push line 8 out of the core caches and the LLC.
+        for i in range(2, 40):
+            h.access(0, addr(i * 8))
+        if h.victim_cache.contains(8):
+            h.access(0, addr(8))
+            assert h.llc.is_dirty(8)
+
+    def test_tiny_victim_cache_rescues_less_than_big_one(self):
+        def memory_refetches(entries):
+            h = make(entries=entries)
+            refetches = 0
+            h.access(0, addr(8))
+            for i in range(2, 60):
+                h.access(0, addr(i * 8))
+                if h.access(0, addr(8)) == HIT_MEMORY:
+                    refetches += 1
+            return refetches
+
+        assert memory_refetches(64) <= memory_refetches(2)

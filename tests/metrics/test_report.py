@@ -1,0 +1,48 @@
+"""Unit tests for the ASCII report helpers."""
+
+from repro.metrics import format_scurve, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.125]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in out
+        assert "4.125" in out
+        # All data lines equal length (alignment).
+        data = lines[2:]
+        assert len({len(line) for line in data}) == 1
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Hello")
+        assert out.splitlines()[0] == "Hello"
+
+    def test_custom_float_format(self):
+        out = format_table(["x"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in out
+        assert "1.23" not in out
+
+    def test_strings_pass_through(self):
+        out = format_table(["x"], [["abc"]])
+        assert "abc" in out
+
+
+class TestFormatScurve:
+    def test_empty(self):
+        assert "(no data)" in format_scurve([], "x")
+
+    def test_stats_line(self):
+        out = format_scurve([1.0, 1.2, 0.9], "tlh")
+        assert "n=3" in out
+        assert "min=0.900" in out
+        assert "max=1.200" in out
+
+    def test_one_row_per_value(self):
+        values = [1.0, 1.1, 1.2, 1.3]
+        out = format_scurve(values, "x")
+        assert len(out.splitlines()) == 1 + len(values)
+
+    def test_center_marker_present(self):
+        out = format_scurve([0.9, 1.1], "x")
+        assert "|" in out

@@ -1,0 +1,107 @@
+"""Unit tests for the performance metrics."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import (
+    geomean,
+    hmean_fairness,
+    miss_reduction,
+    mpki,
+    normalized_throughput,
+    throughput,
+    weighted_speedup,
+)
+
+
+class TestThroughput:
+    def test_sum_of_ipcs(self):
+        assert throughput([1.0, 2.0, 0.5]) == pytest.approx(3.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            throughput([])
+
+    def test_normalized(self):
+        assert normalized_throughput([2.0, 2.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_normalized_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalized_throughput([1.0], [0.0])
+
+
+class TestWeightedSpeedup:
+    def test_identity(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_degradation_counts(self):
+        # Each app at half its isolated speed -> WS = 1.0 for 2 apps.
+        assert weighted_speedup([0.5, 1.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_zero_isolated_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_speedup([1.0], [0.0])
+
+
+class TestHmeanFairness:
+    def test_identity(self):
+        assert hmean_fairness([2.0, 3.0], [2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_unfair_sharing_penalised(self):
+        balanced = hmean_fairness([1.0, 1.0], [2.0, 2.0])
+        skewed = hmean_fairness([1.9, 0.1], [2.0, 2.0])
+        assert skewed < balanced
+
+    def test_zero_ipc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hmean_fairness([0.0], [1.0])
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geomean([3.3]) == pytest.approx(3.3)
+
+    def test_log_symmetry(self):
+        assert geomean([0.5, 2.0]) == pytest.approx(1.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            geomean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            geomean([])
+
+    def test_matches_reference(self):
+        values = [1.1, 0.9, 1.3, 1.0]
+        expected = math.exp(sum(map(math.log, values)) / 4)
+        assert geomean(values) == pytest.approx(expected)
+
+
+class TestCacheMetrics:
+    def test_mpki(self):
+        assert mpki(50, 100_000) == pytest.approx(0.5)
+
+    def test_mpki_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            mpki(1, 0)
+        with pytest.raises(ConfigurationError):
+            mpki(-1, 100)
+
+    def test_miss_reduction_positive(self):
+        assert miss_reduction(1000, 904) == pytest.approx(0.096)
+
+    def test_miss_reduction_zero_baseline(self):
+        assert miss_reduction(0, 10) == 0.0
+
+    def test_miss_reduction_negative_means_regression(self):
+        assert miss_reduction(100, 120) == pytest.approx(-0.2)

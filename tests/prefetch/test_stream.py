@@ -1,0 +1,153 @@
+"""Unit tests for the stream prefetcher."""
+
+from repro.config import PrefetchConfig
+from repro.prefetch import StreamPrefetcher
+
+LINE = 64
+
+
+def make(**kwargs) -> StreamPrefetcher:
+    return StreamPrefetcher(PrefetchConfig(enabled=True, **kwargs), line_shift=6)
+
+
+def feed_ascending(pf, start, count, step=1):
+    issued = []
+    for i in range(count):
+        issued.extend(pf.train((start + i * step) * LINE))
+    return issued
+
+
+class TestTraining:
+    def test_first_miss_allocates_no_prefetch(self):
+        pf = make()
+        assert pf.train(100 * LINE) == []
+        assert pf.streams_allocated == 1
+
+    def test_two_misses_confirm_stream(self):
+        pf = make()
+        pf.train(100 * LINE)
+        pf.train(101 * LINE)
+        issued = pf.train(102 * LINE)
+        assert issued  # confirmed by now
+
+    def test_prefetches_are_ahead_of_stream(self):
+        pf = make(distance=4, degree=2)
+        issued = feed_ascending(pf, 100, 6)
+        assert issued
+        assert all(address > 101 * LINE for address in issued)
+
+    def test_descending_stream_detected(self):
+        pf = make()
+        issued = feed_ascending(pf, 200, 6, step=-1)
+        assert issued
+        assert all(address < 200 * LINE for address in issued)
+
+    def test_random_misses_never_confirm(self):
+        pf = make(train_window=4)
+        issued = []
+        for line in (10, 500, 90, 1200, 33, 720):
+            issued.extend(pf.train(line * LINE))
+        assert issued == []
+
+    def test_prefetch_count_tracked(self):
+        pf = make()
+        issued = feed_ascending(pf, 0, 20)
+        assert pf.prefetches_issued == len(issued)
+
+
+class TestDetectorPool:
+    def test_pool_bounded(self):
+        pf = make(num_streams=4)
+        for base in range(0, 1000, 100):
+            pf.train(base * LINE)
+        assert len(pf._detectors) <= 4
+
+    def test_lru_stream_evicted(self):
+        pf = make(num_streams=2, train_window=4)
+        pf.train(0 * LINE)
+        pf.train(1000 * LINE)
+        pf.train(2000 * LINE)  # evicts stream at 0
+        # Returning to the first stream re-allocates (no confirmation).
+        assert pf.train(1 * LINE) == []
+        assert pf.streams_allocated == 4
+
+    def test_interleaved_streams_tracked_independently(self):
+        pf = make(num_streams=4)
+        issued = []
+        for i in range(8):
+            issued.extend(pf.train((100 + i) * LINE))
+            issued.extend(pf.train((9000 - i) * LINE))
+        ascending = [a for a in issued if a > 50 * LINE and a < 8000 * LINE]
+        descending = [a for a in issued if a >= 8000 * LINE]
+        assert ascending and descending
+
+    def test_direction_flip_retrains(self):
+        pf = make()
+        feed_ascending(pf, 100, 4)
+        # Reverse direction within the window: must not prefetch
+        # immediately (confidence reset).
+        issued = pf.train(99 * LINE)
+        assert issued == []
+
+
+class TestNextLinePrefetcher:
+    def test_prefetches_following_lines(self):
+        from repro.prefetch import NextLinePrefetcher
+
+        pf = NextLinePrefetcher(
+            PrefetchConfig(enabled=True, kind="nextline", degree=2),
+            line_shift=6,
+        )
+        issued = pf.train(100 * LINE)
+        assert issued == [101 * LINE, 102 * LINE]
+        assert pf.prefetches_issued == 2
+
+    def test_repeated_line_fires_once(self):
+        from repro.prefetch import NextLinePrefetcher
+
+        pf = NextLinePrefetcher(
+            PrefetchConfig(enabled=True, kind="nextline"), line_shift=6
+        )
+        pf.train(5 * LINE)
+        assert pf.train(5 * LINE) == []
+
+
+class TestFactory:
+    def test_stream_kind(self):
+        from repro.prefetch import make_prefetcher
+
+        pf = make_prefetcher(PrefetchConfig(enabled=True), line_shift=6)
+        assert isinstance(pf, StreamPrefetcher)
+
+    def test_nextline_kind(self):
+        from repro.prefetch import NextLinePrefetcher, make_prefetcher
+
+        pf = make_prefetcher(
+            PrefetchConfig(enabled=True, kind="nextline"), line_shift=6
+        )
+        assert isinstance(pf, NextLinePrefetcher)
+
+    def test_unknown_kind_rejected_by_config(self):
+        import pytest
+
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PrefetchConfig(enabled=True, kind="oracle")
+
+    def test_core_accepts_nextline(self):
+        from repro.config import SimConfig
+        from repro.cpu import CMPSimulator
+        from repro.prefetch import NextLinePrefetcher
+        from repro.workloads.synthetic import strided_trace
+        from tests.conftest import tiny_hierarchy
+
+        config = SimConfig(
+            hierarchy=tiny_hierarchy("inclusive", num_cores=1),
+            prefetch=PrefetchConfig(enabled=True, kind="nextline"),
+            instruction_quota=2_000,
+        )
+        sim = CMPSimulator(config, [strided_trace(64)])
+        sim.run()
+        assert isinstance(sim.cores[0].prefetcher, NextLinePrefetcher)
+        assert sim.cores[0].prefetcher.prefetches_issued > 0

@@ -1,0 +1,47 @@
+"""Unit tests for access primitives."""
+
+import pytest
+
+from repro.access import Access, AccessType, line_shift_for
+
+
+class TestAccessType:
+    def test_classification(self):
+        assert AccessType.IFETCH.is_instruction
+        assert not AccessType.IFETCH.is_data
+        assert AccessType.LOAD.is_data
+        assert AccessType.STORE.is_data
+        assert AccessType.STORE.is_write
+        assert not AccessType.LOAD.is_write
+
+    def test_int_enum_values_stable(self):
+        # Trace files persist these integers; they must never change.
+        assert AccessType.IFETCH == 0
+        assert AccessType.LOAD == 1
+        assert AccessType.STORE == 2
+
+
+class TestAccess:
+    def test_line_address(self):
+        access = Access(address=0x1234)
+        assert access.line_address(6) == 0x48
+
+    def test_default_kind(self):
+        assert Access(0).kind is AccessType.LOAD
+
+    def test_frozen(self):
+        access = Access(0x10)
+        with pytest.raises(Exception):
+            access.address = 0x20
+
+
+class TestLineShift:
+    def test_common_sizes(self):
+        assert line_shift_for(64) == 6
+        assert line_shift_for(32) == 5
+        assert line_shift_for(128) == 7
+
+    @pytest.mark.parametrize("bad", [0, -64, 63, 100])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            line_shift_for(bad)

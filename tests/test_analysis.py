@@ -1,0 +1,127 @@
+"""Tests for the analysis observers (victim forensics, set pressure)."""
+
+from repro.analysis import SetPressureProfiler, VictimReuseAnalyzer
+from repro.hierarchy import build_hierarchy
+from tests.conftest import tiny_hierarchy
+
+LINE = 64
+
+
+def addr(line: int) -> int:
+    return line * LINE
+
+
+def hot_line_scenario(analyzer=None, profiler=None):
+    """The canonical victim loop: hot line 8 vs a stream in LLC set 0."""
+    h = build_hierarchy(tiny_hierarchy("inclusive", num_cores=1))
+    if analyzer is not None:
+        h.add_observer(analyzer)
+    if profiler is not None:
+        h.add_observer(profiler)
+    h.access(0, addr(8))
+    for i in range(2, 120):
+        h.access(0, addr(i * 8))
+        h.access(0, addr(8))
+    return h
+
+
+class TestVictimReuseAnalyzer:
+    def test_counts_match_hierarchy(self):
+        analyzer = VictimReuseAnalyzer()
+        h = hot_line_scenario(analyzer)
+        analyzer.finalize()
+        assert analyzer.total_victims == h.total_inclusion_victims
+
+    def test_hot_line_victims_are_harmful(self):
+        analyzer = VictimReuseAnalyzer()
+        hot_line_scenario(analyzer)
+        analyzer.finalize()
+        harmful_lines = {r.line_addr for r in analyzer.harmful_victims}
+        assert 8 in harmful_lines  # the hot line bounced back
+
+    def test_dead_victims_detected(self):
+        """A phase change leaves stale core-resident lines: victims
+        that never bounce back (harmless evictions)."""
+        from repro.access import AccessType
+
+        analyzer = VictimReuseAnalyzer()
+        h = build_hierarchy(tiny_hierarchy("inclusive", num_cores=1))
+        h.add_observer(analyzer)
+        # Phase 1: a code loop becomes L1I-resident...
+        code_lines = (8, 16, 24, 32)
+        for _ in range(4):
+            for line in code_lines:
+                h.access(0, addr(line), AccessType.IFETCH)
+        # Phase 2: ...the program moves on; a data stream thrashes
+        # the same LLC sets.  The code lines are victimised (still
+        # L1I-resident) but never fetched again: dead victims.
+        for i in range(5, 200):
+            h.access(0, addr(i * 8))
+        analyzer.finalize()
+        assert analyzer.total_victims > 0
+        dead_lines = {r.line_addr for r in analyzer.dead_victims}
+        assert dead_lines & set(code_lines)
+
+    def test_refetch_distance_histogram(self):
+        analyzer = VictimReuseAnalyzer()
+        hot_line_scenario(analyzer)
+        analyzer.finalize()
+        histogram = analyzer.refetch_distance_histogram(bucket=8)
+        assert sum(histogram.values()) == len(analyzer.harmful_victims)
+        # The hot line is re-fetched promptly: small buckets dominate.
+        if histogram:
+            assert min(histogram) <= 8
+
+    def test_victims_per_core(self):
+        analyzer = VictimReuseAnalyzer()
+        hot_line_scenario(analyzer)
+        analyzer.finalize()
+        per_core = analyzer.victims_per_core()
+        assert set(per_core) == {0}
+
+    def test_summary_keys(self):
+        analyzer = VictimReuseAnalyzer()
+        hot_line_scenario(analyzer)
+        analyzer.finalize()
+        summary = analyzer.summary()
+        assert summary["total_victims"] > 0
+        assert 0.0 <= summary["harmful_fraction"] <= 1.0
+
+
+class TestSetPressureProfiler:
+    def test_pressure_lands_on_thrashed_set(self):
+        h = build_hierarchy(tiny_hierarchy("inclusive", num_cores=1))
+        profiler = SetPressureProfiler(h.llc)
+        h.add_observer(profiler)
+        for i in range(120):
+            h.access(0, addr(i * 8))  # everything in LLC set 0
+        assert profiler.hottest_sets(1) == [0]
+        assert profiler.evictions_per_set[0] == profiler.total_evictions
+        assert profiler.pressure_skew() == float(h.llc.num_sets)
+
+    def test_uniform_stream_spreads_pressure(self):
+        h = build_hierarchy(tiny_hierarchy("inclusive", num_cores=1))
+        profiler = SetPressureProfiler(h.llc)
+        h.add_observer(profiler)
+        for i in range(2000):
+            h.access(0, addr(i))
+        assert profiler.total_fills >= 2000 - h.llc.config.num_lines
+        assert profiler.pressure_skew() < 2.0
+
+    def test_no_events_before_eviction_pressure(self):
+        h = build_hierarchy(tiny_hierarchy("inclusive", num_cores=1))
+        profiler = SetPressureProfiler(h.llc)
+        h.add_observer(profiler)
+        h.access(0, addr(0))
+        assert profiler.total_fills == 1
+        assert profiler.total_evictions == 0
+
+    def test_observers_do_not_change_behaviour(self):
+        plain = hot_line_scenario()
+        observed = hot_line_scenario(
+            VictimReuseAnalyzer(), None
+        )
+        assert (
+            plain.total_inclusion_victims == observed.total_inclusion_victims
+        )
+        assert plain.llc.stats.fills == observed.llc.stats.fills

@@ -1,0 +1,38 @@
+"""Every example script must at least import and expose main().
+
+Full example runs take minutes; CI-level safety here is that the
+scripts parse, import against the current API, and declare a main
+entry point.  (The quickstart path itself is executed in
+tests/test_public_api.py.)
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main")
+    assert callable(module.main)
+
+
+def test_expected_example_roster():
+    names = {p.stem for p in EXAMPLES}
+    assert names >= {
+        "quickstart",
+        "inclusion_victim_demo",
+        "policy_comparison",
+        "cache_ratio_study",
+        "traffic_analysis",
+        "victim_forensics",
+        "custom_policy",
+    }

@@ -1,0 +1,87 @@
+"""Unit tests for the interference-analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    interference_profile,
+    interference_summary,
+    most_victimised,
+)
+from repro.errors import ConfigurationError
+
+
+def sample_profile():
+    return interference_profile(
+        apps=["sje", "lib"],
+        mix_ipcs=[1.5, 0.4],
+        isolated_ipcs=[3.0, 0.5],
+    )
+
+
+class TestInterferenceProfile:
+    def test_pairing(self):
+        profile = sample_profile()
+        assert profile[0].app == "sje"
+        assert profile[0].core_id == 0
+        assert profile[1].app == "lib"
+
+    def test_slowdown_and_retained(self):
+        sje = sample_profile()[0]
+        assert sje.slowdown == pytest.approx(2.0)
+        assert sje.retained == pytest.approx(0.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            interference_profile(["a"], [1.0, 2.0], [1.0])
+
+    def test_zero_isolated_rejected(self):
+        with pytest.raises(ConfigurationError):
+            interference_profile(["a"], [1.0], [0.0])
+
+    def test_zero_mix_ipc_rejected_on_use(self):
+        profile = interference_profile(["a"], [0.0], [1.0])
+        with pytest.raises(ConfigurationError):
+            profile[0].slowdown
+
+
+class TestAggregation:
+    def test_most_victimised(self):
+        assert most_victimised(sample_profile()).app == "sje"
+
+    def test_summary(self):
+        summary = interference_summary(sample_profile())
+        assert summary["worst_slowdown"] == pytest.approx(2.0)
+        assert summary["mean_retained"] == pytest.approx((0.5 + 0.8) / 2)
+        assert summary["min_retained"] == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            most_victimised([])
+        with pytest.raises(ConfigurationError):
+            interference_summary([])
+
+    def test_integration_with_simulation(self):
+        """Wire it to real results: the CCF app is the victim."""
+        from repro.cpu import CMPSimulator
+        from repro.workloads.synthetic import looping_trace, strided_trace
+        from tests.conftest import tiny_sim_config
+
+        config = tiny_sim_config(num_cores=2, quota=3_000)
+        mix = CMPSimulator(
+            config,
+            [looping_trace(100), strided_trace(64, base_address=1 << 30)],
+        ).run()
+        iso_loop = CMPSimulator(
+            tiny_sim_config(num_cores=1, quota=3_000), [looping_trace(100)]
+        ).run()
+        iso_stream = CMPSimulator(
+            tiny_sim_config(num_cores=1, quota=3_000),
+            [strided_trace(64, base_address=1 << 30)],
+        ).run()
+        profile = interference_profile(
+            ["loop", "stream"],
+            mix.ipcs,
+            [iso_loop.ipcs[0], iso_stream.ipcs[0]],
+        )
+        summary = interference_summary(profile)
+        assert summary["worst_slowdown"] >= 1.0

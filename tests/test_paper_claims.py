@@ -1,0 +1,122 @@
+"""Integration tests: the paper's headline claims at test scale.
+
+A miniature two-core machine runs a hand-built CCF+LLCT workload (a
+hot loop + an L2-pool against a streaming thrasher) so that each
+simulation takes well under a second.  The claims asserted here are
+the paper's core results; the benchmark harness re-checks them at the
+full experiment scale with the calibrated SPEC-like workloads.
+"""
+
+import pytest
+
+from repro.config import SimConfig, TLAConfig
+from repro.cpu import CMPSimulator
+from repro.workloads.synthetic import (
+    MixtureProfile,
+    RegionSpec,
+    mixture_trace,
+)
+from repro.workloads.trace import core_address_offset
+from tests.conftest import tiny_hierarchy
+
+QUOTA = 30_000
+WARMUP = 10_000
+
+#: CCF-like: hot loop fitting the 1 KB L1D plus a small L2 pool.
+CCF_PROFILE = MixtureProfile(
+    code_lines=8,
+    regions=(
+        RegionSpec(lines=10, weight=0.985, sequential=True),
+        RegionSpec(lines=24, weight=0.015, burst=2),
+    ),
+)
+
+#: LLCT-like: pure stream far larger than the 8 KB LLC.
+LLCT_PROFILE = MixtureProfile(
+    code_lines=4,
+    regions=(RegionSpec(lines=2048, weight=0.25, sequential=True),),
+)
+
+
+def run(mode: str, tla: TLAConfig = TLAConfig()):
+    config = SimConfig(
+        hierarchy=tiny_hierarchy(mode, num_cores=2, tla=tla),
+        instruction_quota=QUOTA,
+        warmup_instructions=WARMUP,
+    )
+    traces = [
+        mixture_trace(CCF_PROFILE, seed=1, base_address=core_address_offset(0)),
+        mixture_trace(LLCT_PROFILE, seed=2, base_address=core_address_offset(1)),
+    ]
+    return CMPSimulator(config, traces).run()
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "inclusive": run("inclusive"),
+        "non_inclusive": run("non_inclusive"),
+        "exclusive": run("exclusive"),
+        "qbs": run("inclusive", TLAConfig(policy="qbs", levels=("il1", "dl1", "l2"))),
+        "eci": run("inclusive", TLAConfig(policy="eci")),
+        "tlh": run(
+            "inclusive", TLAConfig(policy="tlh", levels=("il1", "dl1"))
+        ),
+    }
+
+
+class TestHeadlineClaims:
+    def test_inclusion_victims_exist_at_baseline(self, results):
+        assert results["inclusive"].total_inclusion_victims > 50
+
+    def test_non_inclusive_beats_inclusive(self, results):
+        assert (
+            results["non_inclusive"].throughput
+            > results["inclusive"].throughput * 1.01
+        )
+
+    def test_qbs_matches_non_inclusive(self, results):
+        """The paper's central result."""
+        qbs = results["qbs"].throughput
+        ni = results["non_inclusive"].throughput
+        assert qbs == pytest.approx(ni, rel=0.02)
+
+    def test_qbs_eliminates_inclusion_victims(self, results):
+        assert results["qbs"].total_inclusion_victims == 0
+
+    def test_eci_lands_between_baseline_and_qbs(self, results):
+        base = results["inclusive"].throughput
+        assert base * 0.995 <= results["eci"].throughput
+        assert results["eci"].throughput <= results["qbs"].throughput * 1.02
+
+    def test_tlh_improves_baseline(self, results):
+        assert results["tlh"].throughput > results["inclusive"].throughput
+
+    def test_exclusive_at_least_non_inclusive(self, results):
+        assert (
+            results["exclusive"].throughput
+            >= results["non_inclusive"].throughput * 0.98
+        )
+
+    def test_ccf_core_is_the_main_beneficiary(self, results):
+        """The CCF core gains the most (the thrasher may gain a little
+        second-hand: fewer victim re-fetches means less MSHR/memory
+        contention in its way)."""
+        base_ccf = results["inclusive"].cores[0].ipc
+        qbs_ccf = results["qbs"].cores[0].ipc
+        base_thrasher = results["inclusive"].cores[1].ipc
+        qbs_thrasher = results["qbs"].cores[1].ipc
+        ccf_gain = qbs_ccf / base_ccf
+        thrasher_gain = qbs_thrasher / base_thrasher
+        assert ccf_gain > 1.01
+        assert ccf_gain > thrasher_gain
+
+    def test_policies_reduce_llc_misses_not_just_latency(self, results):
+        assert results["qbs"].total_llc_misses < results[
+            "inclusive"
+        ].total_llc_misses
+
+    def test_miss_counts_qbs_vs_non_inclusive_close(self, results):
+        qbs = results["qbs"].total_llc_misses
+        ni = results["non_inclusive"].total_llc_misses
+        assert qbs == pytest.approx(ni, rel=0.05)

@@ -1,0 +1,63 @@
+"""Golden regression values for one pinned configuration.
+
+Everything in the simulator is deterministic (seeded generators, no
+wall-clock, numpy's frozen legacy RandomState), so one pinned run
+serves as a tripwire: if any of these numbers moves, simulator
+behaviour changed and every calibrated experiment should be re-baselined.
+Update the constants deliberately when that is intended.
+"""
+
+import pytest
+
+from repro import CMPSimulator, SimConfig, baseline_hierarchy
+from repro.workloads import mix_by_name
+
+SCALE = 0.0625
+QUOTA = 40_000
+WARMUP = 10_000
+
+# Pinned observables for MIX_10 at the settings above.
+GOLDEN_VICTIMS = 42
+GOLDEN_LLC_MISSES = 1550
+GOLDEN_IPCS = (0.625903, 3.211811)
+
+
+@pytest.fixture(scope="module")
+def golden_run():
+    reference = baseline_hierarchy(2, scale=SCALE)
+    config = SimConfig(
+        hierarchy=baseline_hierarchy(2, scale=SCALE),
+        instruction_quota=QUOTA,
+        warmup_instructions=WARMUP,
+    )
+    return CMPSimulator(config, mix_by_name("MIX_10").traces(reference)).run()
+
+
+class TestGoldenRun:
+    def test_inclusion_victims(self, golden_run):
+        assert golden_run.total_inclusion_victims == GOLDEN_VICTIMS
+
+    def test_llc_misses(self, golden_run):
+        assert golden_run.total_llc_misses == GOLDEN_LLC_MISSES
+
+    def test_ipcs(self, golden_run):
+        for measured, expected in zip(golden_run.ipcs, GOLDEN_IPCS):
+            assert measured == pytest.approx(expected, abs=1e-4)
+
+    def test_instruction_quotas_met(self, golden_run):
+        assert [core.instructions for core in golden_run.cores] == [
+            QUOTA, QUOTA,
+        ]
+
+    def test_rerun_is_identical(self, golden_run):
+        reference = baseline_hierarchy(2, scale=SCALE)
+        config = SimConfig(
+            hierarchy=baseline_hierarchy(2, scale=SCALE),
+            instruction_quota=QUOTA,
+            warmup_instructions=WARMUP,
+        )
+        again = CMPSimulator(
+            config, mix_by_name("MIX_10").traces(reference)
+        ).run()
+        assert again.ipcs == golden_run.ipcs
+        assert again.traffic == golden_run.traffic

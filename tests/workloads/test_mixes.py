@@ -1,0 +1,108 @@
+"""Tests for workload-mix construction (Table II, 105 pairs, N-core)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    TABLE2_MIXES,
+    WorkloadMix,
+    all_two_core_mixes,
+    mix_by_name,
+    random_mixes,
+)
+from repro.workloads.mixes import mixes_with_categories
+
+
+class TestTable2:
+    def test_twelve_mixes(self):
+        assert len(TABLE2_MIXES) == 12
+
+    def test_exact_paper_composition(self):
+        expected = {
+            "MIX_00": ("bzi", "wrf"),
+            "MIX_01": ("dea", "pov"),
+            "MIX_02": ("cal", "gob"),
+            "MIX_03": ("h26", "per"),
+            "MIX_04": ("gob", "mcf"),
+            "MIX_05": ("h26", "gob"),
+            "MIX_06": ("hmm", "xal"),
+            "MIX_07": ("dea", "wrf"),
+            "MIX_08": ("bzi", "sje"),
+            "MIX_09": ("pov", "mcf"),
+            "MIX_10": ("lib", "sje"),
+            "MIX_11": ("ast", "pov"),
+        }
+        for mix in TABLE2_MIXES:
+            assert mix.apps == expected[mix.name], mix.name
+
+    def test_paper_category_labels(self):
+        assert mix_by_name("MIX_10").categories == ("LLCT", "CCF")
+        assert mix_by_name("MIX_01").categories == ("CCF", "CCF")
+        assert mix_by_name("MIX_04").categories == ("LLCT", "LLCT")
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mix_by_name("MIX_99")
+
+
+class TestAllPairs:
+    def test_105_combinations(self):
+        mixes = all_two_core_mixes()
+        assert len(mixes) == 105
+
+    def test_pairs_are_unique(self):
+        pairs = {frozenset(m.apps) for m in all_two_core_mixes()}
+        assert len(pairs) == 105
+
+    def test_every_app_appears_14_times(self):
+        from collections import Counter
+
+        counts = Counter()
+        for mix in all_two_core_mixes():
+            counts.update(mix.apps)
+        assert all(count == 14 for count in counts.values())
+
+
+class TestRandomMixes:
+    def test_count_and_width(self):
+        mixes = random_mixes(4, count=10)
+        assert len(mixes) == 10
+        assert all(mix.num_cores == 4 for mix in mixes)
+
+    def test_deterministic(self):
+        a = random_mixes(8, count=5)
+        b = random_mixes(8, count=5)
+        assert [m.apps for m in a] == [m.apps for m in b]
+
+    def test_seed_changes_selection(self):
+        a = random_mixes(4, count=5, seed=1)
+        b = random_mixes(4, count=5, seed=2)
+        assert [m.apps for m in a] != [m.apps for m in b]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_mixes(0)
+        with pytest.raises(ConfigurationError):
+            random_mixes(4, count=0)
+
+
+class TestMixMachinery:
+    def test_traces_match_core_count(self):
+        mix = mix_by_name("MIX_00")
+        assert len(mix.traces()) == 2
+
+    def test_invalid_app_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMix("BAD", ("nosuch",))
+
+    def test_label(self):
+        assert mix_by_name("MIX_10").label() == "MIX_10(lib+sje)"
+
+    def test_category_filter(self):
+        ccf_pairs = mixes_with_categories(["CCF", "CCF"])
+        assert len(ccf_pairs) == 10  # 5 choose 2
+        assert all(set(m.categories) == {"CCF"} for m in ccf_pairs)
+
+    def test_category_filter_mixed(self):
+        pairs = mixes_with_categories(["CCF", "LLCT"])
+        assert len(pairs) == 25  # 5 x 5

@@ -1,0 +1,84 @@
+"""Structural tests for the 15 app profiles (no simulation needed)."""
+
+import pytest
+
+from repro.config import HierarchyConfig
+from repro.errors import ConfigurationError
+from repro.workloads import SPEC_APPS, app_names, app_profile
+from repro.workloads.spec import AppProfile
+
+
+class TestProfileStructure:
+    @pytest.mark.parametrize("name", sorted(SPEC_APPS))
+    def test_mixture_builds(self, name):
+        mixture = SPEC_APPS[name].build_mixture(HierarchyConfig())
+        assert mixture.code_lines > 0
+        assert mixture.regions
+        total_weight = sum(r.weight for r in mixture.regions)
+        assert total_weight == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", sorted(SPEC_APPS))
+    def test_hot_region_first_and_l1_sized(self, name):
+        config = HierarchyConfig()
+        mixture = SPEC_APPS[name].build_mixture(config)
+        hot = mixture.regions[0]
+        assert hot.lines <= config.l1d.num_lines
+
+    def test_hot_weight_dominates_everywhere(self):
+        for name, profile in SPEC_APPS.items():
+            assert profile.hot_weight > 0.8, name
+
+    def test_streaming_apps_have_streams(self):
+        for name in ("lib", "sph", "wrf"):
+            mixture = SPEC_APPS[name].build_mixture(HierarchyConfig())
+            assert any(r.sequential and r.lines > 1000 for r in mixture.regions), name
+
+    def test_thrashing_apps_exceed_llc(self):
+        config = HierarchyConfig()
+        for name in ("lib", "mcf", "gob", "sph", "wrf"):
+            mixture = SPEC_APPS[name].build_mixture(config)
+            biggest = max(r.lines for r in mixture.regions)
+            assert biggest > config.llc.num_lines, name
+
+    def test_ccf_apps_fit_core_caches(self):
+        config = HierarchyConfig()
+        core_lines = (
+            config.l1i.num_lines + config.l1d.num_lines + config.l2.num_lines
+        )
+        for name in ("dea", "per", "sje"):
+            mixture = SPEC_APPS[name].build_mixture(config)
+            footprint = mixture.code_lines + sum(r.lines for r in mixture.regions)
+            assert footprint <= core_lines * 1.2, name
+
+    def test_quiet_ccf_apps_loop_sequentially(self):
+        for name in ("dea", "per", "sje"):
+            assert SPEC_APPS[name].hot_sequential, name
+        for name in ("h26", "pov"):
+            assert not SPEC_APPS[name].hot_sequential, name
+
+    def test_weights_cannot_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            AppProfile(
+                "bad", "bad", "CCF",
+                w_l2=0.5, w_llc=0.3, w_huge=0.2, w_stream=0.1,
+            )
+
+    def test_app_names_ordering(self):
+        names = app_names()
+        assert names[:5] == ["dea", "h26", "per", "pov", "sje"]  # CCF first
+        assert names[-5:] == ["gob", "lib", "mcf", "sph", "wrf"]  # LLCT last
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigurationError):
+            app_profile("gcc")
+
+    def test_full_names_match_spec2006(self):
+        expected = {
+            "dea": "dealII", "h26": "h264ref", "per": "perlbench",
+            "pov": "povray", "sje": "sjeng", "ast": "astar",
+            "bzi": "bzip2", "cal": "calculix", "hmm": "hmmer",
+            "xal": "xalancbmk", "gob": "gobmk", "lib": "libquantum",
+            "mcf": "mcf", "sph": "sphinx3", "wrf": "wrf",
+        }
+        for short, full in expected.items():
+            assert SPEC_APPS[short].full_name == full

@@ -1,0 +1,97 @@
+"""Unit tests for trace records, file I/O and helpers."""
+
+import pytest
+
+from repro.access import AccessType
+from repro.errors import TraceError
+from repro.workloads import (
+    TraceRecord,
+    core_address_offset,
+    cyclic,
+    instruction_count,
+    load_trace,
+    offset_addresses,
+    save_trace,
+    take,
+)
+
+
+class TestTraceRecord:
+    def test_instructions_includes_gap_and_self(self):
+        record = TraceRecord(3, AccessType.LOAD, 0x40)
+        assert record.instructions == 4
+
+    def test_records_are_tuples(self):
+        record = TraceRecord(0, AccessType.STORE, 0x80)
+        gap, kind, address = record
+        assert (gap, kind, address) == (0, AccessType.STORE, 0x80)
+
+
+class TestHelpers:
+    def test_take(self):
+        records = [TraceRecord(0, AccessType.LOAD, i) for i in range(10)]
+        assert take(iter(records), 3) == records[:3]
+
+    def test_cyclic_repeats(self):
+        records = [TraceRecord(0, AccessType.LOAD, i) for i in range(2)]
+        looped = take(cyclic(records), 5)
+        assert [r.address for r in looped] == [0, 1, 0, 1, 0]
+
+    def test_cyclic_empty_raises(self):
+        with pytest.raises(TraceError):
+            cyclic([])
+
+    def test_instruction_count(self):
+        records = [
+            TraceRecord(2, AccessType.LOAD, 0),
+            TraceRecord(0, AccessType.IFETCH, 64),
+        ]
+        assert instruction_count(records) == 4
+
+    def test_offset_addresses(self):
+        records = [TraceRecord(0, AccessType.LOAD, 64)]
+        shifted = list(offset_addresses(iter(records), 1000))
+        assert shifted[0].address == 1064
+        assert shifted[0].kind == AccessType.LOAD
+
+    def test_core_address_offsets_disjoint(self):
+        offsets = [core_address_offset(i) for i in range(8)]
+        assert len(set(offsets)) == 8
+        assert all(b - a >= (1 << 40) for a, b in zip(offsets, offsets[1:]))
+
+
+class TestFileIO:
+    def test_save_load_roundtrip(self, tmp_path):
+        records = [
+            TraceRecord(0, AccessType.LOAD, 0x1000),
+            TraceRecord(5, AccessType.STORE, 0x2040),
+            TraceRecord(1, AccessType.IFETCH, 0x30),
+        ]
+        path = tmp_path / "trace.txt"
+        assert save_trace(records, path) == 3
+        assert load_trace(path) == records
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n0 1 40\n")
+        records = load_trace(path)
+        assert len(records) == 1
+        assert records[0].address == 0x40
+
+    def test_load_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_load_rejects_bad_kind(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0 9 40\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_load_rejects_negative_gap(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("-1 1 40\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
