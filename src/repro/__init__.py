@@ -32,6 +32,7 @@ from .config import (
     CacheConfig,
     HierarchyConfig,
     PrefetchConfig,
+    SanitizeConfig,
     SimConfig,
     TimingConfig,
     TLAConfig,
@@ -45,6 +46,7 @@ from .errors import (
     ExperimentError,
     InclusionViolationError,
     ReproError,
+    SanitizerError,
     SimulationError,
     TraceError,
     UnknownPolicyError,
@@ -71,6 +73,7 @@ from .hierarchy import (
     NonInclusiveHierarchy,
     build_hierarchy,
 )
+from .sanitize import HierarchySanitizer, Violation
 from .version import __version__
 
 __all__ = [
@@ -83,6 +86,7 @@ __all__ = [
     "CacheConfig",
     "HierarchyConfig",
     "PrefetchConfig",
+    "SanitizeConfig",
     "SimConfig",
     "TimingConfig",
     "TLAConfig",
@@ -95,6 +99,7 @@ __all__ = [
     "ExperimentError",
     "InclusionViolationError",
     "ReproError",
+    "SanitizerError",
     "SimulationError",
     "TraceError",
     "UnknownPolicyError",
@@ -128,4 +133,7 @@ __all__ = [
     "InclusiveHierarchy",
     "NonInclusiveHierarchy",
     "build_hierarchy",
+    # sanitizers
+    "HierarchySanitizer",
+    "Violation",
 ]

@@ -98,6 +98,16 @@ class ReplacementPolicy(ABC):
         for way in range(self.associativity):
             self.on_invalidate(set_index, way)
 
+    def validate_set(self, set_index: int) -> None:
+        """Raise :class:`SimulationError` if this set's metadata is corrupt.
+
+        Called by the CacheSan :class:`ReplacementMetadataChecker`.
+        Policies with per-set structure override this: recency-stack
+        policies check the stack is a permutation of the ways, bit-field
+        policies check every field is in range.  The default (for
+        stateless policies) accepts anything.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<{type(self).__name__} sets={self.num_sets} "

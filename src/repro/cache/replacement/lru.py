@@ -58,6 +58,15 @@ class LRUPolicy(ReplacementPolicy):
         """Return the recency rank of ``way`` (0 = MRU); for tests."""
         return self._stacks[set_index].index(way)
 
+    def validate_set(self, set_index: int) -> None:
+        """The recency stack must be a permutation of the ways."""
+        stack = self._stacks[set_index]
+        if sorted(stack) != list(range(self.associativity)):
+            raise SimulationError(
+                f"{self.name}: set {set_index} recency stack {stack} is not "
+                f"a permutation of 0..{self.associativity - 1}"
+            )
+
 
 class LIPPolicy(LRUPolicy):
     """LRU Insertion Policy: fills land at the LRU position.

@@ -66,3 +66,12 @@ class NRUPolicy(ReplacementPolicy):
     def ref_bit(self, set_index: int, way: int) -> int:
         """Expose the reference bit (tests and debugging)."""
         return self._ref[set_index][way]
+
+    def validate_set(self, set_index: int) -> None:
+        """Every reference bit must be 0 or 1."""
+        for way, bit in enumerate(self._ref[set_index]):
+            if bit not in (0, 1):
+                raise SimulationError(
+                    f"{self.name}: set {set_index} way {way} reference bit "
+                    f"{bit} out of range"
+                )

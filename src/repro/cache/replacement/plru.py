@@ -62,3 +62,12 @@ class TreePLRUPolicy(ReplacementPolicy):
             if candidate not in exclude:
                 return candidate
         raise SimulationError("plru: no victim found")  # pragma: no cover
+
+    def validate_set(self, set_index: int) -> None:
+        """Every tree node bit must be 0 or 1."""
+        for node, bit in enumerate(self._bits[set_index]):
+            if bit not in (0, 1):
+                raise SimulationError(
+                    f"{self.name}: set {set_index} tree node {node} bit "
+                    f"{bit} out of range"
+                )

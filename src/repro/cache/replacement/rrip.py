@@ -73,6 +73,15 @@ class SRRIPPolicy(ReplacementPolicy):
         """Expose a line's RRPV (tests and debugging)."""
         return self._rrpv[set_index][way]
 
+    def validate_set(self, set_index: int) -> None:
+        """Every RRPV must be within the policy's bit width."""
+        for way, rrpv in enumerate(self._rrpv[set_index]):
+            if not 0 <= rrpv <= self.max_rrpv:
+                raise SimulationError(
+                    f"{self.name}: set {set_index} way {way} RRPV {rrpv} "
+                    f"outside [0, {self.max_rrpv}]"
+                )
+
 
 class BRRIPPolicy(SRRIPPolicy):
     """Bimodal RRIP: distant insertion except 1-in-``bimodal_period``."""

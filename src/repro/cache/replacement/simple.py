@@ -44,6 +44,15 @@ class FIFOPolicy(ReplacementPolicy):
     def victim_order(self, set_index: int) -> List[int]:
         return list(self._queues[set_index])
 
+    def validate_set(self, set_index: int) -> None:
+        """The age queue must be a permutation of the ways."""
+        queue = self._queues[set_index]
+        if sorted(queue) != list(range(self.associativity)):
+            raise SimulationError(
+                f"{self.name}: set {set_index} age queue {queue} is not "
+                f"a permutation of 0..{self.associativity - 1}"
+            )
+
 
 class RandomPolicy(ReplacementPolicy):
     """Uniform-pseudo-random victim selection (deterministic LCG).

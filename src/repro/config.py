@@ -217,6 +217,45 @@ class TLAConfig:
 
 
 @dataclass(frozen=True)
+class SanitizeConfig:
+    """CacheSan invariant-sanitizer settings (see :mod:`repro.sanitize`).
+
+    When ``enabled``, the hierarchy runs every applicable
+    :class:`~repro.sanitize.InvariantChecker` over its full state every
+    ``interval`` accesses.  ``fail_fast=True`` raises
+    :class:`~repro.errors.SanitizerError` on the first violating scan;
+    ``fail_fast=False`` collects violations for a post-run report.
+
+    ``eci_window`` is the allowlist window for *intentional* core-cache
+    invalidations (ECI and modified QBS): a line the hierarchy announced
+    it is early-invalidating stays exempt from the inclusion check for
+    that many accesses, modelling an invalidate message still in flight.
+    ``0`` keeps the check fully strict (correct for the current atomic
+    simulator; a decoupled/async hierarchy needs a nonzero window).
+
+    ``checkers`` selects checkers by registry name
+    (:data:`repro.sanitize.CHECKERS`); empty means every checker that
+    applies to the hierarchy mode.
+
+    The ``REPRO_SANITIZE`` environment variable overrides ``enabled``
+    for a whole process (``1`` forces sanitizing on, ``0`` forces it
+    off), so the entire test suite can run sanitized unmodified.
+    """
+
+    enabled: bool = False
+    interval: int = 64
+    fail_fast: bool = True
+    eci_window: int = 0
+    checkers: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigurationError("sanitize interval must be positive")
+        if self.eci_window < 0:
+            raise ConfigurationError("eci_window must be non-negative")
+
+
+@dataclass(frozen=True)
 class HierarchyConfig:
     """Full machine description of the cache hierarchy.
 
@@ -244,6 +283,9 @@ class HierarchyConfig:
     #: inclusive LLC (the Fletcher et al. remedy compared in paper
     #: Section VI); 0 disables it.
     victim_cache_entries: int = 0
+    #: CacheSan invariant-sanitizer settings (off by default; the
+    #: ``REPRO_SANITIZE`` env var overrides ``sanitize.enabled``).
+    sanitize: SanitizeConfig = field(default_factory=SanitizeConfig)
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:

@@ -90,6 +90,8 @@ class CMPSimulator:
         self.config = config
         self.hierarchy = hierarchy or build_hierarchy(config.hierarchy)
         self.mshr = MSHRFile(config.timing.mshr_entries)
+        if self.hierarchy.sanitizer is not None:
+            self.hierarchy.sanitizer.register_mshr(self.mshr)
         self.cores = [
             SimulatedCore(core_id, trace, self.hierarchy, config, self.mshr)
             for core_id, trace in enumerate(traces)
@@ -140,6 +142,8 @@ class CMPSimulator:
                     self.hierarchy.check_invariants()
         if check_invariants_every:
             self.hierarchy.check_invariants()
+        if self.hierarchy.sanitizer is not None:
+            self.hierarchy.sanitizer.final_check()
         return self._collect()
 
     def _collect(self) -> SimResult:

@@ -1,0 +1,6 @@
+"""Developer tooling that guards the simulator's structure.
+
+Currently one tool: :mod:`repro.devtools.lint`, a custom AST lint
+enforcing the repository's simulation-hygiene rules (run it with
+``python -m repro.devtools.lint``).
+"""

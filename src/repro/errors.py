@@ -29,6 +29,15 @@ class SimulationError(ReproError):
     """
 
 
+class SanitizerError(SimulationError):
+    """A CacheSan invariant checker found corrupted hierarchy state.
+
+    Raised in fail-fast mode by :class:`repro.sanitize.HierarchySanitizer`;
+    the message carries every violation found in the failing scan, each
+    with the set/way/line-address coordinates of the corrupt state.
+    """
+
+
 class InclusionViolationError(SimulationError):
     """A line was found in a core cache but not in an inclusive LLC."""
 

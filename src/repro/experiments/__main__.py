@@ -55,9 +55,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"warmup={settings.warmup} sample={settings.sample} full={settings.full}"
     )
     for name in names:
-        start = time.time()
+        start = time.perf_counter()
         result = run_experiment(name, runner=runner)
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         print()
         print(result["report"])
         print(f"# {name} finished in {elapsed:.1f}s")

@@ -20,6 +20,7 @@ from ..cache import Cache, EvictedLine
 from ..coherence import Directory, MessageType, TrafficMeter
 from ..config import HierarchyConfig
 from ..errors import SimulationError
+from ..sanitize.base import HierarchySanitizer, sanitizer_from_config
 from .levels import CoreCaches
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -104,6 +105,13 @@ class BaseHierarchy:
         #: observers of cold-path events (LLC fills/evictions and
         #: inclusion victims); see :mod:`repro.analysis`.
         self._observers: List[object] = []
+        #: CacheSan sanitizer, or None.  Resolved here (not in the
+        #: builder) so directly-constructed hierarchies also honour
+        #: ``config.sanitize`` and the ``REPRO_SANITIZE`` env var.
+        self.sanitizer: Optional[HierarchySanitizer] = None
+        auto_sanitizer = sanitizer_from_config(config.sanitize)
+        if auto_sanitizer is not None:
+            self.attach_sanitizer(auto_sanitizer)
         self.tla: "TLAPolicy" = _make_none_policy()
         self.tla.attach(self)
 
@@ -131,6 +139,16 @@ class BaseHierarchy:
         self.tla = policy
         policy.attach(self)
 
+    # -- CacheSan sanitizer management ------------------------------------------
+    def attach_sanitizer(self, sanitizer: HierarchySanitizer) -> None:
+        """Install a CacheSan sanitizer; it audits state on a sampling clock."""
+        self.sanitizer = sanitizer
+        sanitizer.attach(self)
+
+    def detach_sanitizer(self) -> None:
+        """Remove any attached sanitizer (the audit hook goes dormant)."""
+        self.sanitizer = None
+
     # -- main demand path --------------------------------------------------------
     def access(
         self,
@@ -140,6 +158,9 @@ class BaseHierarchy:
         record_stats: bool = True,
     ) -> int:
         """Issue one demand access; returns the hit level (HIT_*)."""
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_access()
         line_addr = address >> self.line_shift
         core = self.cores[core_id]
         stats = self.core_stats[core_id] if record_stats else None
@@ -300,6 +321,11 @@ class BaseHierarchy:
         instead.  Returns True if any core actually held a copy.
         """
         any_present = False
+        if not record_inclusion_victim and self.sanitizer is not None:
+            # ECI / modified QBS: the line stays LLC-resident while its
+            # core copies are deliberately removed.  Tell the sanitizer
+            # so the inclusion check can exempt an in-flight window.
+            self.sanitizer.note_intentional_invalidate(line_addr)
         for sharer in self.directory.sharers(line_addr):
             self.traffic.record(message)
             present, dirty = self.cores[sharer].invalidate_all(line_addr)

@@ -67,6 +67,14 @@ class MSHRFile:
         self._drain(now)
         return len(self._completions)
 
+    def inflight(self) -> int:
+        """Entries not yet drained, without advancing time (pure probe).
+
+        Unlike :meth:`occupancy` this never mutates the heap, so the
+        CacheSan :class:`MSHRLeakChecker` can call it mid-simulation.
+        """
+        return len(self._completions)
+
     def _drain(self, now: int) -> None:
         while self._completions and self._completions[0] <= now:
             heapq.heappop(self._completions)

@@ -15,7 +15,7 @@ from .throughput import (
     throughput,
     weighted_speedup,
 )
-from .stats import miss_reduction, mpki
+from .stats import counter_conservation, miss_reduction, mpki
 from .report import format_table, format_scurve
 from .charts import (
     describe_hierarchy,
@@ -30,6 +30,7 @@ __all__ = [
     "normalized_throughput",
     "throughput",
     "weighted_speedup",
+    "counter_conservation",
     "miss_reduction",
     "mpki",
     "format_table",

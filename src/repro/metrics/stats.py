@@ -1,6 +1,8 @@
-"""Cache-performance metrics: MPKI and miss reduction."""
+"""Cache-performance metrics: MPKI, miss reduction, counter conservation."""
 
 from __future__ import annotations
+
+from typing import Dict, List
 
 from ..errors import ConfigurationError
 
@@ -26,3 +28,39 @@ def miss_reduction(baseline_misses: int, policy_misses: int) -> float:
     if baseline_misses == 0:
         return 0.0
     return (baseline_misses - policy_misses) / baseline_misses
+
+
+def counter_conservation(snapshot: Dict[str, int], occupancy: int) -> List[str]:
+    """Check a cache array's counters against its conservation laws.
+
+    Every line enters an array through exactly one fill and leaves
+    through exactly one eviction or invalidation, so at any instant
+    ``fills - evictions - invalidations == occupancy``; dirty events
+    can never outnumber their parent events, and no counter may go
+    negative.  Returns a list of human-readable discrepancies (empty
+    when the counters are consistent) — the CacheSan
+    ``StatsConservationChecker`` reports each one as a violation.
+    """
+    problems: List[str] = []
+    for name, value in snapshot.items():
+        if value < 0:
+            problems.append(f"counter {name} is negative ({value})")
+    resident = (
+        snapshot["fills"] - snapshot["evictions"] - snapshot["invalidations"]
+    )
+    if resident != occupancy:
+        problems.append(
+            f"fills - evictions - invalidations = {resident} but "
+            f"{occupancy} lines are resident"
+        )
+    if snapshot["dirty_evictions"] > snapshot["evictions"]:
+        problems.append(
+            f"dirty_evictions ({snapshot['dirty_evictions']}) exceeds "
+            f"evictions ({snapshot['evictions']})"
+        )
+    if snapshot["dirty_invalidations"] > snapshot["invalidations"]:
+        problems.append(
+            f"dirty_invalidations ({snapshot['dirty_invalidations']}) "
+            f"exceeds invalidations ({snapshot['invalidations']})"
+        )
+    return problems

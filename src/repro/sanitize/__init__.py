@@ -1,0 +1,49 @@
+"""CacheSan: runtime invariant sanitizers for cache hierarchies.
+
+Attach a :class:`HierarchySanitizer` to any hierarchy (via
+``build_hierarchy(..., sanitize=...)``, a
+:class:`~repro.config.SanitizeConfig`, or ``REPRO_SANITIZE=1``) and it
+audits the full tag/directory/counter state every ``interval``
+accesses, raising :class:`~repro.errors.SanitizerError` with exact
+set/way/line-address coordinates on the first corruption it finds.
+"""
+
+from .base import (
+    ENV_VAR,
+    HierarchySanitizer,
+    InvariantChecker,
+    Violation,
+    coerce_sanitizer,
+    env_override,
+    sanitizer_from_config,
+)
+from .checkers import (
+    CHECKERS,
+    DirectoryConsistencyChecker,
+    DuplicateLineChecker,
+    ExclusionChecker,
+    InclusionChecker,
+    MSHRLeakChecker,
+    ReplacementMetadataChecker,
+    StatsConservationChecker,
+    default_checkers,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "HierarchySanitizer",
+    "InvariantChecker",
+    "Violation",
+    "coerce_sanitizer",
+    "env_override",
+    "sanitizer_from_config",
+    "CHECKERS",
+    "default_checkers",
+    "InclusionChecker",
+    "ExclusionChecker",
+    "DuplicateLineChecker",
+    "ReplacementMetadataChecker",
+    "MSHRLeakChecker",
+    "DirectoryConsistencyChecker",
+    "StatsConservationChecker",
+]

@@ -8,11 +8,9 @@ ordered-dict implementation.
 
 from collections import OrderedDict
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cache import Cache
-from repro.cache.replacement import make_policy
 from repro.config import CacheConfig
 
 

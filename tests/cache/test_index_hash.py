@@ -2,13 +2,11 @@
 
 import random
 
-import pytest
-
 from repro.cache import Cache
 from repro.config import CacheConfig, SimConfig, TLAConfig
 from repro.cpu import CMPSimulator
 from repro.workloads.synthetic import strided_trace
-from tests.conftest import tiny_hierarchy, tiny_sim_config
+from tests.conftest import tiny_hierarchy
 
 
 def hashed_cache(sets=8, ways=2) -> Cache:

@@ -2,7 +2,7 @@
 
 from repro.coherence import MessageType
 from repro.config import TLAConfig
-from repro.hierarchy import HIT_L1, HIT_LLC, HIT_MEMORY, build_hierarchy
+from repro.hierarchy import HIT_LLC, HIT_MEMORY, build_hierarchy
 from tests.conftest import tiny_hierarchy
 
 LINE = 64

@@ -8,7 +8,7 @@ from repro.access import AccessType
 from repro.cpu import CMPSimulator
 from repro.cpu.cmp import run_simulation
 from repro.errors import SimulationError
-from repro.workloads import TraceRecord, cyclic
+from repro.workloads import TraceRecord
 from repro.workloads.synthetic import looping_trace, strided_trace
 from tests.conftest import tiny_sim_config
 

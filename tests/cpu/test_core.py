@@ -9,7 +9,7 @@ from repro.errors import SimulationError
 from repro.hierarchy import build_hierarchy
 from repro.workloads import TraceRecord
 from repro.workloads.synthetic import looping_trace, strided_trace
-from tests.conftest import tiny_hierarchy, tiny_sim_config
+from tests.conftest import tiny_sim_config
 
 
 def make_core(trace, quota=1_000, warmup=0, prefetch=False):

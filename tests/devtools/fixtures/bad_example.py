@@ -1,0 +1,38 @@
+"""Deliberately bad module exercising every lint rule.
+
+Never imported — ``tests/devtools/test_lint.py`` feeds it to the lint
+and asserts each rule fires.  Keep one violation per rule (plus the
+numpy and import variants) so the expected counts stay obvious.
+"""
+
+import random
+import time
+from random import randint
+
+import numpy
+
+
+def corrupt_cache(hierarchy):
+    # CS1: staged mutator called outside cache/hierarchy/core.
+    hierarchy.llc.evict_way(0, 0)
+    hierarchy.llc.fill_way(0, 0, 0x123)
+    hierarchy.llc.invalidate(0x123)
+
+
+def unseeded_choices():
+    # CS2: global-generator draws and unseeded constructions.
+    pick = random.randint(0, 10)
+    generator = random.Random()
+    noise = numpy.random.rand(4)
+    return pick, generator, noise, randint(0, 3)
+
+
+def wall_clock_timestamp():
+    # CS3: host wall-clock reads.
+    return time.time()
+
+
+def fudge_counters(cache):
+    # CS4: stats counters mutated outside their owning layers.
+    cache.stats.hits += 1
+    cache.stats.misses = 0

@@ -10,7 +10,7 @@ import pytest
 from repro.config import MB, TLAConfig
 from repro.errors import ExperimentError
 from repro.experiments import ExperimentSettings, Runner
-from repro.workloads import WorkloadMix, mix_by_name
+from repro.workloads import mix_by_name
 
 
 def tiny_settings(tmp_path, **kwargs):

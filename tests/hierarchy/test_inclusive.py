@@ -1,7 +1,5 @@
 """Behavioural tests for the inclusive hierarchy controller."""
 
-import pytest
-
 from repro.access import AccessType
 from repro.hierarchy import (
     HIT_L1,

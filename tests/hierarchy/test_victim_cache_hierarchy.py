@@ -3,7 +3,7 @@
 import dataclasses
 
 from repro.access import AccessType
-from repro.hierarchy import HIT_L1, HIT_LLC, HIT_MEMORY, build_hierarchy
+from repro.hierarchy import HIT_LLC, HIT_MEMORY, build_hierarchy
 from repro.hierarchy.victim import VictimCacheInclusiveHierarchy
 from tests.conftest import tiny_hierarchy
 

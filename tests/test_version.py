@@ -1,0 +1,42 @@
+"""The version is single-sourced: ``repro.version`` is the authority.
+
+``pyproject.toml`` cannot read it at build time without a build
+backend hook (this environment deliberately ships without a
+``[build-system]`` table — see the note at the top of the file), so
+the two declarations are kept in lockstep by this test instead.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro
+from repro.version import __version__
+
+PYPROJECT = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+
+
+def pyproject_version() -> str:
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python < 3.11
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', PYPROJECT.read_text(), re.MULTILINE
+        )
+        assert match, "no version in pyproject.toml"
+        return match.group(1)
+    with PYPROJECT.open("rb") as handle:
+        return tomllib.load(handle)["project"]["version"]
+
+
+def test_package_reexports_the_authority():
+    assert repro.__version__ is __version__
+
+
+def test_pyproject_matches_version_module():
+    assert pyproject_version() == __version__
+
+
+def test_version_is_pep440ish():
+    assert re.fullmatch(r"\d+\.\d+\.\d+([a-z]+\d+)?", __version__)
