@@ -1,0 +1,84 @@
+"""Orchestrator speedup: parallel sweeps must beat serial on multi-core.
+
+Times the same 12-job grid twice — serial (``jobs=1``) and on a worker
+pool (``jobs=N``) — with separate cache directories so both runs pay
+for every simulation.  The assertion is deliberately loose (workers
+cost fork + pickle overhead, CI machines are noisy and oversubscribed);
+the recorded ``extra_info`` carries the actual wall times for trend
+tracking.
+
+Skips on single-CPU runners, where a pool cannot beat serial and the
+comparison is meaningless.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import ExperimentSettings, Runner
+from repro.workloads import mix_by_name
+
+pytestmark = pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="speedup comparison needs at least 2 CPUs",
+)
+
+SCALE = 0.0625
+QUOTA = 20_000
+WARMUP = 5_000
+
+
+def grid_requests():
+    """12 independent jobs: 4 mixes x 3 hierarchy variants."""
+    mixes = [mix_by_name(f"MIX_{i:02d}") for i in (1, 5, 8, 11)]
+    variants = [
+        ("inclusive", "none"),
+        ("inclusive", "qbs"),
+        ("non_inclusive", "none"),
+    ]
+    return [
+        dict(mix=mix, mode=mode, tla=tla)
+        for mix in mixes
+        for mode, tla in variants
+    ]
+
+
+def timed_sweep(tmp_path, jobs: int) -> float:
+    settings = ExperimentSettings(
+        scale=SCALE,
+        quota=QUOTA,
+        warmup=WARMUP,
+        cache_dir=str(tmp_path / f"cache-j{jobs}"),
+    )
+    runner = Runner(settings)
+    start = time.perf_counter()
+    results = runner.run_many(grid_requests(), jobs=jobs)
+    elapsed = time.perf_counter() - start
+    assert len(results) == 12
+    assert all(summary.throughput > 0 for summary in results)
+    return elapsed
+
+
+def test_parallel_sweep_speedup(benchmark, tmp_path):
+    workers = min(4, os.cpu_count() or 1)
+    serial_s = timed_sweep(tmp_path, jobs=1)
+    parallel_s = benchmark.pedantic(
+        lambda: timed_sweep(tmp_path, jobs=workers),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    speedup = serial_s / parallel_s
+    benchmark.extra_info.update(
+        serial_s=round(serial_s, 3),
+        parallel_s=round(parallel_s, 3),
+        workers=workers,
+        speedup=round(speedup, 2),
+    )
+    # Loose floor: any real pool on >=2 CPUs recovers fork/pickle
+    # overhead on a 12-job grid; equality would mean the pool path
+    # silently fell back to serial.
+    assert speedup > 1.1

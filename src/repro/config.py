@@ -397,6 +397,40 @@ def baseline_hierarchy(
     return hierarchy
 
 
+def variant_sim_config(
+    num_cores: int,
+    mode: str = "inclusive",
+    tla: Optional[TLAConfig] = None,
+    llc_bytes: Optional[int] = None,
+    scale: float = 1.0,
+    quota: int = 100_000,
+    warmup: int = 0,
+    victim_cache_entries: int = 0,
+) -> SimConfig:
+    """Build the :class:`SimConfig` for one experiment machine variant.
+
+    This is the single definition of how an experiment request maps to
+    a simulatable machine: the serial :class:`repro.experiments.Runner`
+    and the :mod:`repro.orchestrate` pool workers both call it, so a
+    job executed in a subprocess is byte-for-byte the same simulation
+    as the in-process one.
+    """
+    hierarchy = baseline_hierarchy(
+        num_cores=num_cores,
+        llc_bytes=llc_bytes,
+        mode=mode,
+        tla=tla,
+        scale=scale,
+    )
+    if victim_cache_entries:
+        hierarchy = replace(hierarchy, victim_cache_entries=victim_cache_entries)
+    return SimConfig(
+        hierarchy=hierarchy,
+        instruction_quota=quota,
+        warmup_instructions=warmup,
+    )
+
+
 def scale_hierarchy(config: HierarchyConfig, scale: float) -> HierarchyConfig:
     """Scale every cache capacity by ``scale`` (associativities kept)."""
     if scale <= 0:

@@ -54,5 +54,16 @@ class ExperimentError(ReproError):
     """An experiment driver was asked for an unknown or invalid run."""
 
 
+class OrchestrationError(ExperimentError):
+    """A parallel sweep could not complete.
+
+    Raised by :class:`repro.orchestrate.Orchestrator` when jobs keep
+    failing past their retry budget, or when the worker pool cannot be
+    (re)built at all.  The message lists every permanently failed job
+    with its final error; partial results stay in the result cache, so
+    re-running the sweep only re-executes the failed jobs.
+    """
+
+
 class UnknownPolicyError(ConfigurationError):
     """A replacement or TLA policy name did not match any registered one."""

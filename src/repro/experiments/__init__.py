@@ -24,7 +24,7 @@ windows, every one of the 105 two-core mixes, and the paper-sized
 caches if you have the patience.
 """
 
-from .runner import ExperimentSettings, Runner, RunSummary
+from .runner import ExperimentSettings, Runner, RunSummary, cache_key
 from .tables import table1, table2
 from .figures import (
     figure2,
@@ -47,6 +47,7 @@ __all__ = [
     "ExperimentSettings",
     "Runner",
     "RunSummary",
+    "cache_key",
     "table1",
     "table2",
     "figure2",

@@ -4,12 +4,15 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments table1
-    python -m repro.experiments figure7
+    python -m repro.experiments -j 4 figure7
     python -m repro.experiments all
 
 Fidelity knobs come from the environment (see
 :class:`repro.experiments.ExperimentSettings`): ``REPRO_SCALE``,
-``REPRO_QUOTA``, ``REPRO_WARMUP``, ``REPRO_SAMPLE``, ``REPRO_FULL``.
+``REPRO_QUOTA``, ``REPRO_WARMUP``, ``REPRO_SAMPLE``, ``REPRO_FULL``,
+``REPRO_JOBS``, ``REPRO_JOB_TIMEOUT``.  ``--jobs/-j`` overrides
+``REPRO_JOBS`` and fans each driver's simulation grid out over that
+many worker processes.
 """
 
 from __future__ import annotations
@@ -17,8 +20,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from typing import List, Optional
 
+from ..metrics import ProgressReporter
 from .registry import EXPERIMENTS, run_experiment
 from .runner import ExperimentSettings, Runner
 
@@ -37,6 +42,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json-dir",
         help="also dump each experiment's result as <dir>/<name>.json",
     )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the simulation grid "
+        "(overrides REPRO_JOBS; 1 = serial)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="force the live progress line even on a non-TTY stderr",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -49,10 +68,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         names = args.experiments
     settings = ExperimentSettings.from_env()
-    runner = Runner(settings)
+    if args.jobs is not None:
+        settings = replace(settings, jobs=args.jobs)
+    reporter = ProgressReporter(enabled=True if args.progress else None)
+    runner = Runner(settings, reporter=reporter)
     print(
         f"# settings: scale={settings.scale} quota={settings.quota} "
-        f"warmup={settings.warmup} sample={settings.sample} full={settings.full}"
+        f"warmup={settings.warmup} sample={settings.sample} "
+        f"full={settings.full} jobs={settings.jobs}"
     )
     for name in names:
         start = time.perf_counter()

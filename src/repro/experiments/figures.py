@@ -5,6 +5,12 @@ a human-readable ``report``.  Normalisations follow the paper:
 throughput (sum of IPCs) relative to the baseline inclusive hierarchy
 of the same geometry, geometric means for "All" aggregates, and
 LLC-miss reductions for the cache-performance figure.
+
+Drivers submit their whole simulation grid up front through
+:meth:`Runner.run_many` (variants *and* the baselines they normalise
+against), so the orchestrator can deduplicate it against the cache
+and fan it out over ``REPRO_JOBS`` workers; the aggregation loops
+below then read every run from the cache for free.
 """
 
 from __future__ import annotations
@@ -78,6 +84,14 @@ def figure2(
     """
     runner = runner or Runner()
     mixes = list(mixes) if mixes is not None else _ratio_sweep_mixes()
+    runner.run_many(
+        [
+            dict(mix=mix, mode=mode, llc_bytes=llc_bytes)
+            for llc_bytes in RATIO_SWEEP.values()
+            for mix in mixes
+            for mode in ("inclusive", "non_inclusive", "exclusive")
+        ]
+    )
     series: Dict[str, Dict[str, float]] = {"non_inclusive": {}, "exclusive": {}}
     for label, llc_bytes in RATIO_SWEEP.items():
         series["non_inclusive"][label] = _geomean_over(
@@ -111,6 +125,36 @@ def figure5(
     """
     runner = runner or Runner()
     variants = ["tlh-il1", "tlh-dl1", "tlh-l1", "tlh-l2", "tlh-l1-l2"]
+    sample = runner.sample_mixes()
+    sampling_rates = (0.01, 0.02, 0.10, 0.20) if include_sampling else ()
+    requests = [
+        dict(mix=mix, mode="inclusive", tla=variant)
+        for mix in TABLE2_MIXES
+        for variant in variants
+    ]
+    requests += [
+        dict(mix=mix, mode=mode, tla="none")
+        for mix in list(TABLE2_MIXES) + sample
+        for mode in ("inclusive", "non_inclusive")
+    ]
+    requests += [
+        dict(mix=mix, mode="inclusive", tla=variant)
+        for mix in sample
+        for variant in ("tlh-l1", "tlh-l2", "tlh-l1-l2")
+    ]
+    requests += [
+        dict(
+            mix=mix,
+            mode="inclusive",
+            tla=f"tlh-l1-s{rate}",
+            tla_config=TLAConfig(
+                policy="tlh", levels=("il1", "dl1"), sample_rate=rate
+            ),
+        )
+        for rate in sampling_rates
+        for mix in TABLE2_MIXES
+    ]
+    runner.run_many(requests)
     per_mix: Dict[str, Dict[str, float]] = {}
     for mix in TABLE2_MIXES:
         per_mix[mix.name] = {
@@ -118,7 +162,6 @@ def figure5(
             for variant in variants
         }
         per_mix[mix.name]["non_inclusive"] = _norm(runner, mix, "non_inclusive")
-    sample = runner.sample_mixes()
     aggregate = {
         variant: _geomean_over(runner, sample, "inclusive", variant)
         for variant in ("tlh-l1", "tlh-l2", "tlh-l1-l2")
@@ -134,18 +177,17 @@ def figure5(
         _norm(runner, mix, "non_inclusive") for mix in sample
     )
     sampling: Dict[str, float] = {}
-    if include_sampling:
-        for rate in (0.01, 0.02, 0.10, 0.20):
-            config = TLAConfig(
-                policy="tlh", levels=("il1", "dl1"), sample_rate=rate
-            )
-            sampling[f"{rate:.0%}"] = _geomean_over(
-                runner,
-                list(TABLE2_MIXES),
-                "inclusive",
-                f"tlh-l1-s{rate}",
-                tla_config=config,
-            )
+    for rate in sampling_rates:
+        config = TLAConfig(
+            policy="tlh", levels=("il1", "dl1"), sample_rate=rate
+        )
+        sampling[f"{rate:.0%}"] = _geomean_over(
+            runner,
+            list(TABLE2_MIXES),
+            "inclusive",
+            f"tlh-l1-s{rate}",
+            tla_config=config,
+        )
     rows = [
         [name] + [values[v] for v in variants] + [values["non_inclusive"]]
         for name, values in per_mix.items()
@@ -181,6 +223,18 @@ def figure6(runner: Optional[Runner] = None) -> Dict:
     mixes; the worst-case mix loses only marginally.
     """
     runner = runner or Runner()
+    sample = runner.sample_mixes()
+    runner.run_many(
+        [
+            dict(mix=mix, mode=mode, tla=tla)
+            for mix in list(TABLE2_MIXES) + sample
+            for mode, tla in (
+                ("inclusive", "none"),
+                ("inclusive", "eci"),
+                ("non_inclusive", "none"),
+            )
+        ]
+    )
     per_mix = {
         mix.name: {
             "eci": _norm(runner, mix, "inclusive", "eci"),
@@ -188,7 +242,6 @@ def figure6(runner: Optional[Runner] = None) -> Dict:
         }
         for mix in TABLE2_MIXES
     }
-    sample = runner.sample_mixes()
     aggregate = {
         "eci": _geomean_over(runner, sample, "inclusive", "eci"),
         "non_inclusive": _geomean_over(runner, sample, "non_inclusive"),
@@ -224,6 +277,31 @@ def figure7(
     """
     runner = runner or Runner()
     variants = ["qbs-il1", "qbs-dl1", "qbs-l1", "qbs-l2", "qbs"]
+    sample = runner.sample_mixes()
+    limit_values = (1, 2, 4, 8) if include_query_limits else ()
+    requests = [
+        dict(mix=mix, mode="inclusive", tla=variant)
+        for mix in list(TABLE2_MIXES) + sample
+        for variant in variants
+    ]
+    requests += [
+        dict(mix=mix, mode=mode, tla="none")
+        for mix in list(TABLE2_MIXES) + sample
+        for mode in ("inclusive", "non_inclusive")
+    ]
+    requests += [
+        dict(
+            mix=mix,
+            mode="inclusive",
+            tla=f"qbs-q{limit}",
+            tla_config=TLAConfig(
+                policy="qbs", levels=("il1", "dl1", "l2"), max_queries=limit
+            ),
+        )
+        for limit in limit_values
+        for mix in TABLE2_MIXES
+    ]
+    runner.run_many(requests)
     per_mix: Dict[str, Dict[str, float]] = {}
     for mix in TABLE2_MIXES:
         per_mix[mix.name] = {
@@ -231,7 +309,6 @@ def figure7(
             for variant in variants
         }
         per_mix[mix.name]["non_inclusive"] = _norm(runner, mix, "non_inclusive")
-    sample = runner.sample_mixes()
     aggregate = {
         variant: _geomean_over(runner, sample, "inclusive", variant)
         for variant in ("qbs-il1", "qbs-dl1", "qbs-l1", "qbs-l2", "qbs")
@@ -239,20 +316,19 @@ def figure7(
     aggregate["non_inclusive"] = _geomean_over(runner, sample, "non_inclusive")
     scurve = sorted(_norm(runner, mix, "inclusive", "qbs") for mix in sample)
     query_limits: Dict[int, float] = {}
-    if include_query_limits:
-        for limit in (1, 2, 4, 8):
-            config = TLAConfig(
-                policy="qbs",
-                levels=("il1", "dl1", "l2"),
-                max_queries=limit,
-            )
-            query_limits[limit] = _geomean_over(
-                runner,
-                list(TABLE2_MIXES),
-                "inclusive",
-                f"qbs-q{limit}",
-                tla_config=config,
-            )
+    for limit in limit_values:
+        config = TLAConfig(
+            policy="qbs",
+            levels=("il1", "dl1", "l2"),
+            max_queries=limit,
+        )
+        query_limits[limit] = _geomean_over(
+            runner,
+            list(TABLE2_MIXES),
+            "inclusive",
+            f"qbs-q{limit}",
+            tla_config=config,
+        )
     rows = [
         [name] + [values[v] for v in variants] + [values["non_inclusive"]]
         for name, values in per_mix.items()
@@ -294,13 +370,22 @@ def figure8(runner: Optional[Runner] = None) -> Dict:
         "non_inclusive": ("non_inclusive", "none"),
         "exclusive": ("exclusive", "none"),
     }
+    sample = runner.sample_mixes()
+    runner.run_many(
+        [
+            dict(mix=mix, mode=mode, tla=tla)
+            for mix in list(TABLE2_MIXES) + sample
+            for mode, tla in (
+                list(policies.values()) + [("inclusive", "none")]
+            )
+        ]
+    )
     per_mix: Dict[str, Dict[str, float]] = {}
     for mix in TABLE2_MIXES:
         per_mix[mix.name] = {
             label: runner.miss_reduction(mix, mode=mode, tla=tla)
             for label, (mode, tla) in policies.items()
         }
-    sample = runner.sample_mixes()
     aggregate = {
         label: sum(
             runner.miss_reduction(mix, mode=mode, tla=tla) for mix in sample
@@ -337,6 +422,23 @@ def figure9(runner: Optional[Runner] = None) -> Dict:
     """
     runner = runner or Runner()
     sample = runner.sample_mixes()
+    runner.run_many(
+        [
+            dict(mix=mix, mode=mode, tla=tla)
+            for mix in sample
+            for mode, tla in (
+                ("inclusive", "none"),
+                ("inclusive", "tlh-l1"),
+                ("inclusive", "eci"),
+                ("inclusive", "qbs"),
+                ("non_inclusive", "none"),
+                ("non_inclusive", "tlh-l1"),
+                ("non_inclusive", "eci"),
+                ("non_inclusive", "qbs"),
+                ("exclusive", "none"),
+            )
+        ]
+    )
     inclusive_base = {
         "tlh-l1": _geomean_over(runner, sample, "inclusive", "tlh-l1"),
         "eci": _geomean_over(runner, sample, "inclusive", "eci"),
@@ -413,6 +515,16 @@ def figure10(
         "non_inclusive": ("non_inclusive", "none"),
         "exclusive": ("exclusive", "none"),
     }
+    runner.run_many(
+        [
+            dict(mix=mix, mode=mode, tla=tla, llc_bytes=llc_bytes)
+            for llc_bytes in RATIO_SWEEP.values()
+            for mix in mixes
+            for mode, tla in (
+                list(policies.values()) + [("inclusive", "none")]
+            )
+        ]
+    )
     series: Dict[str, Dict[str, float]] = {label: {} for label in policies}
     for ratio, llc_bytes in RATIO_SWEEP.items():
         for label, (mode, tla) in policies.items():
@@ -453,6 +565,18 @@ def figure11(
         # the within-core-count comparison the figure is about.
         quota = runner.settings.quota // 2 if cores == 8 else None
         warmup = runner.settings.warmup // 2 if cores == 8 else None
+        runner.run_many(
+            [
+                dict(mix=mix, mode=mode, tla=tla, quota=quota, warmup=warmup)
+                for mix in mixes
+                for mode, tla in (
+                    ("inclusive", "none"),
+                    ("inclusive", "qbs"),
+                    ("inclusive", "eci"),
+                    ("non_inclusive", "none"),
+                )
+            ]
+        )
 
         def norm(mode: str, tla: str) -> float:
             values = []
@@ -498,6 +622,29 @@ def victim_cache_study(
     if entries is None:
         entries = max(2, int(round(32 * runner.settings.scale)))
     mixes = list(TABLE2_MIXES)
+    runner.run_many(
+        [
+            dict(
+                mix=mix,
+                mode="inclusive",
+                tla=f"vcache{entries}",
+                tla_config=TLAConfig(),
+                victim_cache_entries=entries,
+            )
+            for mix in mixes
+        ]
+        + [
+            dict(mix=mix, mode=mode, tla=tla)
+            for mix in mixes
+            for mode, tla in (
+                ("inclusive", "none"),
+                ("inclusive", "eci"),
+                ("inclusive", "qbs"),
+                ("non_inclusive", "none"),
+            )
+        ]
+    )
+
     def vc_norm(mix: WorkloadMix) -> float:
         variant = runner.run(
             mix, mode="inclusive", tla=f"vcache{entries}",
@@ -550,6 +697,13 @@ def traffic_study(runner: Optional[Runner] = None) -> Dict:
         "eci": "eci",
         "qbs": "qbs",
     }
+    runner.run_many(
+        [
+            dict(mix=mix, mode="inclusive", tla=tla)
+            for mix in mixes
+            for tla in variants.values()
+        ]
+    )
     for mix in mixes:
         for label, tla in variants.items():
             summary = runner.run(mix, "inclusive", tla)

@@ -42,11 +42,16 @@ EXPERIMENTS: Dict[str, Callable] = {
 
 
 def run_experiment(name: str, runner: Optional[Runner] = None) -> Dict:
-    """Run a named experiment; raises ``ExperimentError`` on unknown names."""
+    """Run a named experiment; raises ``ExperimentError`` on unknown names.
+
+    Every registered driver accepts the shared ``runner`` keyword, so
+    a batch of experiments reuses one runner (and with it the result
+    cache and the parallel orchestrator its ``run_many`` batches feed).
+    """
     try:
         driver = EXPERIMENTS[name]
     except KeyError:
         raise ExperimentError(
             f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return driver(runner=runner) if name != "table2" else table2()
+    return driver(runner=runner)

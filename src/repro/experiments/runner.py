@@ -3,7 +3,10 @@
 A :class:`Runner` executes (mix, hierarchy-variant) simulations and
 memoises results both in memory and on disk, so a figure driver that
 shares its baseline runs with another driver — or a re-invoked
-benchmark — pays for each simulation exactly once.
+benchmark — pays for each simulation exactly once.  Batch submissions
+(:meth:`Runner.run_many`) go through :class:`repro.orchestrate.
+Orchestrator`, which deduplicates against the same cache and fans the
+remaining jobs out over ``settings.jobs`` worker processes.
 
 Scaling: the paper simulates 250 M instructions per benchmark on a
 2 MB-LLC machine.  Python cannot afford that per (mix x policy x
@@ -17,26 +20,29 @@ paper's cold-start amortisation.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
-from dataclasses import asdict, dataclass, replace
-from pathlib import Path
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional
 
-from ..config import (
-    SimConfig,
-    TLAConfig,
-    baseline_hierarchy,
-    tla_preset,
-)
-from ..cpu import CMPSimulator
+from ..config import TLAConfig, baseline_hierarchy, tla_preset
 from ..errors import ExperimentError
-from ..version import __version__
+from ..orchestrate import (
+    Orchestrator,
+    ResultCache,
+    RunSummary,
+    SimJob,
+    SweepManifest,
+    execute_job,
+    job_key,
+)
 from ..workloads import WorkloadMix, all_two_core_mixes
 
-#: Bump when simulator behaviour changes to invalidate stale caches.
-_CACHE_SCHEMA = 6
+__all__ = [
+    "ExperimentSettings",
+    "Runner",
+    "RunSummary",
+    "cache_key",
+]
 
 
 @dataclass(frozen=True)
@@ -45,7 +51,10 @@ class ExperimentSettings:
 
     Environment overrides: ``REPRO_SCALE``, ``REPRO_QUOTA``,
     ``REPRO_WARMUP``, ``REPRO_SAMPLE``, ``REPRO_CACHE_DIR``,
-    ``REPRO_FULL=1`` (every 105-mix aggregate instead of a sample).
+    ``REPRO_FULL=1`` (every 105-mix aggregate instead of a sample),
+    ``REPRO_JOBS`` (worker processes for batch submissions; 1 =
+    serial) and ``REPRO_JOB_TIMEOUT`` (seconds per job before a
+    worker is killed and the job retried).
     """
 
     scale: float = 0.0625
@@ -55,11 +64,16 @@ class ExperimentSettings:
     sample: int = 24
     full: bool = False
     cache_dir: Optional[str] = ".repro-cache"
+    #: worker processes for ``Runner.run_many``; 1 runs in-process.
+    jobs: int = 1
+    #: per-job timeout in seconds (parallel runs only); None = none.
+    job_timeout: Optional[float] = None
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
         env = os.environ
         full = env.get("REPRO_FULL", "") not in ("", "0")
+        timeout = env.get("REPRO_JOB_TIMEOUT", "")
         return cls(
             scale=float(env.get("REPRO_SCALE", 0.0625)),
             quota=int(env.get("REPRO_QUOTA", 600_000 if full else 300_000)),
@@ -67,45 +81,85 @@ class ExperimentSettings:
             sample=int(env.get("REPRO_SAMPLE", 105 if full else 24)),
             full=full,
             cache_dir=env.get("REPRO_CACHE_DIR", ".repro-cache"),
+            jobs=int(env.get("REPRO_JOBS", 1)),
+            job_timeout=float(timeout) if timeout else None,
         )
 
 
-@dataclass
-class RunSummary:
-    """The slice of a :class:`repro.cpu.SimResult` experiments consume."""
+def cache_key(
+    settings: ExperimentSettings,
+    mix: WorkloadMix,
+    mode: str = "inclusive",
+    tla: str = "none",
+    llc_bytes: Optional[int] = None,
+    tla_config: Optional[TLAConfig] = None,
+    quota: Optional[int] = None,
+    warmup: Optional[int] = None,
+    victim_cache_entries: int = 0,
+) -> str:
+    """The disk-memo key of one run, computable in any process.
 
-    mix: str
-    apps: List[str]
-    mode: str
-    tla: str
-    ipcs: List[float]
-    llc_misses: int
-    llc_accesses: int
-    inclusion_victims: int
-    traffic: Dict[str, int]
-    max_cycles: float
-    instructions: List[int]
-    mpki: List[Dict[str, float]]
+    Thin wrapper over :func:`repro.orchestrate.job_key` — job keys and
+    runner cache keys are the same hash by construction, which is what
+    lets the orchestrator dedup a sweep against ``.repro-cache``.  The
+    key must not depend on dict ordering, hash randomisation or the
+    environment (see ``tests/experiments/test_cache_key.py``).
+    """
+    return job_key(
+        _build_job(
+            settings, mix, mode, tla, llc_bytes, tla_config, quota, warmup,
+            victim_cache_entries,
+        )
+    )
 
-    @property
-    def throughput(self) -> float:
-        return sum(self.ipcs)
+
+def _build_job(
+    settings: ExperimentSettings,
+    mix: WorkloadMix,
+    mode: str = "inclusive",
+    tla: str = "none",
+    llc_bytes: Optional[int] = None,
+    tla_config: Optional[TLAConfig] = None,
+    quota: Optional[int] = None,
+    warmup: Optional[int] = None,
+    victim_cache_entries: int = 0,
+) -> SimJob:
+    """Resolve a run request against ``settings`` into a ``SimJob``."""
+    return SimJob(
+        mix_name=mix.name,
+        apps=tuple(mix.apps),
+        mode=mode,
+        tla=tla,
+        tla_config=tla_config if tla_config is not None else tla_preset(tla),
+        llc_bytes=llc_bytes,
+        scale=settings.scale,
+        quota=quota if quota is not None else settings.quota,
+        warmup=warmup if warmup is not None else settings.warmup,
+        victim_cache_entries=victim_cache_entries,
+    )
 
 
 class Runner:
     """Executes and caches (mix x machine-variant) simulations."""
 
-    def __init__(self, settings: Optional[ExperimentSettings] = None) -> None:
+    #: manifest filename inside the cache directory (resume journal).
+    MANIFEST_NAME = "sweep-manifest.jsonl"
+
+    def __init__(
+        self,
+        settings: Optional[ExperimentSettings] = None,
+        reporter=None,
+    ) -> None:
         self.settings = settings or ExperimentSettings.from_env()
         #: reference machine the workload generators size against —
         #: always the scaled 2-core baseline, regardless of the
         #: simulated variant (Table I's categories are baseline-relative).
         self.reference = baseline_hierarchy(2, scale=self.settings.scale)
-        self._memory: Dict[str, RunSummary] = {}
-        self._disk: Optional[Path] = None
-        if self.settings.cache_dir:
-            self._disk = Path(self.settings.cache_dir)
-            self._disk.mkdir(parents=True, exist_ok=True)
+        self.cache = ResultCache(self.settings.cache_dir)
+        #: progress sink handed to the orchestrator on batch runs
+        #: (anything with start/update/finish, e.g.
+        #: :class:`repro.metrics.ProgressReporter`).
+        self.reporter = reporter
 
     # -- the workhorse ---------------------------------------------------------
     def run(
@@ -125,62 +179,58 @@ class Runner:
         pass ``tla_config`` instead for non-preset variants (query
         limits, hint sampling) together with a unique ``tla`` label.
         """
-        settings = self.settings
-        quota = quota if quota is not None else settings.quota
-        warmup = warmup if warmup is not None else settings.warmup
-        tla_cfg = tla_config if tla_config is not None else tla_preset(tla)
-        key = self._key(
-            mix, mode, tla, llc_bytes, tla_cfg, quota, warmup,
-            victim_cache_entries,
+        job = _build_job(
+            self.settings, mix, mode, tla, llc_bytes, tla_config, quota,
+            warmup, victim_cache_entries,
         )
-        cached = self._load(key)
+        key = job_key(job)
+        cached = self.cache.load(key)
         if cached is not None:
             return cached
-
-        # llc_bytes is expressed at full (paper) size for readability;
-        # baseline_hierarchy applies the uniform scale to every cache.
-        hierarchy = baseline_hierarchy(
-            num_cores=mix.num_cores,
-            llc_bytes=llc_bytes,
-            mode=mode,
-            tla=tla_cfg,
-            scale=settings.scale,
-        )
-        if victim_cache_entries:
-            hierarchy = replace(
-                hierarchy, victim_cache_entries=victim_cache_entries
-            )
-        config = SimConfig(
-            hierarchy=hierarchy,
-            instruction_quota=quota,
-            warmup_instructions=warmup,
-        )
-        result = CMPSimulator(config, mix.traces(self.reference)).run()
-        summary = RunSummary(
-            mix=mix.name,
-            apps=list(mix.apps),
-            mode=mode,
-            tla=tla,
-            ipcs=result.ipcs,
-            llc_misses=result.total_llc_misses,
-            llc_accesses=result.total_llc_accesses,
-            inclusion_victims=result.total_inclusion_victims,
-            traffic=dict(result.traffic),
-            max_cycles=result.max_cycles,
-            instructions=[core.instructions for core in result.cores],
-            mpki=[
-                {
-                    "l1": core.mpki("l1"),
-                    "l1i": core.mpki("l1i"),
-                    "l1d": core.mpki("l1d"),
-                    "l2": core.mpki("l2"),
-                    "llc": core.mpki("llc"),
-                }
-                for core in result.cores
-            ],
-        )
-        self._store(key, summary)
+        summary = execute_job(job)
+        self.cache.store(key, summary)
         return summary
+
+    def run_many(
+        self,
+        requests: Iterable[Mapping],
+        jobs: Optional[int] = None,
+    ) -> List[RunSummary]:
+        """Execute a batch of run requests, in parallel when configured.
+
+        Each request is a mapping with a ``mix`` entry plus any of
+        :meth:`run`'s keyword arguments.  Duplicate requests (and
+        requests already satisfied by the cache) cost nothing; the
+        rest are fanned out over ``jobs`` worker processes (default
+        ``settings.jobs``; 1 executes in-process).  Results come back
+        aligned with the request order and are stored in the same
+        cache :meth:`run` uses, so drivers can batch first and then
+        read individual runs for free.
+        """
+        sim_jobs = []
+        for request in requests:
+            request = dict(request)
+            try:
+                mix = request.pop("mix")
+            except KeyError:
+                raise ExperimentError(
+                    "run_many request needs a 'mix' entry"
+                ) from None
+            sim_jobs.append(_build_job(self.settings, mix, **request))
+        orchestrator = Orchestrator(
+            jobs=jobs if jobs is not None else self.settings.jobs,
+            cache=self.cache,
+            manifest=self._manifest(),
+            timeout=self.settings.job_timeout,
+            reporter=self.reporter,
+        )
+        results = orchestrator.run(sim_jobs)
+        return [results[job_key(job)] for job in sim_jobs]
+
+    def _manifest(self) -> Optional[SweepManifest]:
+        if self.cache.directory is None:
+            return None
+        return SweepManifest(self.cache.directory / self.MANIFEST_NAME)
 
     # -- derived measurements -----------------------------------------------------
     def normalized_throughput(
@@ -228,58 +278,3 @@ class Runner:
         # Stride through the (category-ordered) list for coverage.
         stride = len(mixes) / count
         return [mixes[int(i * stride)] for i in range(count)]
-
-    # -- caching ----------------------------------------------------------------
-    def _key(
-        self,
-        mix: WorkloadMix,
-        mode: str,
-        tla: str,
-        llc_bytes: Optional[int],
-        tla_cfg: TLAConfig,
-        quota: int,
-        warmup: int,
-        victim_cache_entries: int = 0,
-    ) -> str:
-        payload = json.dumps(
-            {
-                "schema": _CACHE_SCHEMA,
-                "version": __version__,
-                # keyed by app composition, not mix name, so a Table II
-                # mix and the identical PAIR_* mix share one simulation
-                "apps": mix.apps,
-                "mode": mode,
-                "tla": tla,
-                "tla_cfg": asdict(tla_cfg),
-                "llc_bytes": llc_bytes,
-                "scale": self.settings.scale,
-                "quota": quota,
-                "warmup": warmup,
-                "vc": victim_cache_entries,
-            },
-            sort_keys=True,
-            default=list,
-        )
-        return hashlib.sha1(payload.encode()).hexdigest()
-
-    def _load(self, key: str) -> Optional[RunSummary]:
-        if key in self._memory:
-            return self._memory[key]
-        if self._disk is None:
-            return None
-        path = self._disk / f"{key}.json"
-        if not path.exists():
-            return None
-        try:
-            data = json.loads(path.read_text())
-            summary = RunSummary(**data)
-        except (ValueError, TypeError):
-            return None  # stale/corrupt cache entry; recompute
-        self._memory[key] = summary
-        return summary
-
-    def _store(self, key: str, summary: RunSummary) -> None:
-        self._memory[key] = summary
-        if self._disk is not None:
-            path = self._disk / f"{key}.json"
-            path.write_text(json.dumps(asdict(summary)))

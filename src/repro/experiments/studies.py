@@ -30,6 +30,18 @@ def fairness_study(runner: Optional[Runner] = None) -> Dict:
     are introduced), matching footnote 5.
     """
     runner = runner or Runner()
+    apps = sorted({app for mix in TABLE2_MIXES for app in mix.apps})
+    runner.run_many(
+        [
+            dict(mix=WorkloadMix(f"ISO_{app}", (app,)), llc_bytes=2 * MB)
+            for app in apps
+        ]
+        + [
+            dict(mix=mix, mode="inclusive", tla=tla)
+            for mix in TABLE2_MIXES
+            for tla in ("none", "qbs")
+        ]
+    )
     isolated: Dict[str, float] = {}
 
     def isolated_ipc(app: str) -> float:
@@ -86,6 +98,13 @@ def snoop_study(runner: Optional[Runner] = None) -> Dict:
     non-inclusion — the paper's whole point.
     """
     runner = runner or Runner()
+    runner.run_many(
+        [
+            dict(mix=mix, mode=mode, tla=tla)
+            for mix in TABLE2_MIXES
+            for mode, tla in (("non_inclusive", "none"), ("inclusive", "qbs"))
+        ]
+    )
     rows = []
     totals = {"non_inclusive_probes": 0, "qbs_extra_messages": 0, "instructions": 0}
     for mix in TABLE2_MIXES:

@@ -19,6 +19,12 @@ def table1(runner: Optional[Runner] = None) -> Dict:
     calibration tests assert.
     """
     runner = runner or Runner()
+    runner.run_many(
+        [
+            dict(mix=WorkloadMix(f"ISO_{name}", (name,)), llc_bytes=2 * MB)
+            for name in app_names()
+        ]
+    )
     rows: List[Dict] = []
     for name in app_names():
         mix = WorkloadMix(f"ISO_{name}", (name,))

@@ -17,6 +17,7 @@ from .throughput import (
 )
 from .stats import counter_conservation, miss_reduction, mpki
 from .report import format_table, format_scurve
+from .progress import ProgressReporter, format_eta
 from .charts import (
     describe_hierarchy,
     format_barchart,
@@ -35,6 +36,8 @@ __all__ = [
     "mpki",
     "format_table",
     "format_scurve",
+    "ProgressReporter",
+    "format_eta",
     "describe_hierarchy",
     "format_barchart",
     "format_grouped_barchart",

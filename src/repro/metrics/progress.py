@@ -1,0 +1,119 @@
+"""Live progress reporting for long experiment sweeps.
+
+A :class:`ProgressReporter` receives completion events from
+:class:`repro.orchestrate.Orchestrator` and renders a single
+carriage-return-updated status line: completed/total, failures,
+running jobs, worker utilisation and an ETA extrapolated from the
+measured completion rate.  Rendering is a pure function of the counts
+(:meth:`ProgressReporter.render`), so tests assert on strings without
+a terminal, and the reporter stays silent when writing to a non-TTY
+unless explicitly enabled.
+
+Uses ``time.perf_counter`` only — pure elapsed-time measurement, never
+the wall clock (lint rule CS3).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+def format_eta(seconds: float) -> str:
+    """Render a second count as a compact ``MM:SS`` / ``H:MM:SS``."""
+    seconds = max(0, int(round(seconds)))
+    hours, remainder = divmod(seconds, 3600)
+    minutes, secs = divmod(remainder, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes:02d}:{secs:02d}"
+
+
+class ProgressReporter:
+    """Renders sweep progress to a stream, throttled to ``min_interval``."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        enabled: Optional[bool] = None,
+        min_interval: float = 0.5,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", lambda: False)
+            enabled = bool(isatty())
+        self.enabled = enabled
+        self.min_interval = min_interval
+        self._total = 0
+        self._cached = 0
+        self._started = 0.0
+        self._last_emit = 0.0
+        self._last_line = ""
+
+    # -- orchestrator interface ------------------------------------------------
+    def start(self, total: int, cached: int = 0) -> None:
+        self._total = total
+        self._cached = cached
+        self._started = time.perf_counter()
+        self._last_emit = 0.0
+        if cached:
+            self._emit(
+                self.render(completed=cached, failed=0, running=0, workers=0),
+                force=True,
+            )
+
+    def update(
+        self, completed: int, failed: int, running: int, workers: int
+    ) -> None:
+        now = time.perf_counter()
+        if now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        self._emit(self.render(completed, failed, running, workers))
+
+    def finish(self) -> None:
+        if self.enabled and self._last_line:
+            self.stream.write("\n")
+            self.stream.flush()
+        self._last_line = ""
+
+    # -- rendering ---------------------------------------------------------------
+    def render(
+        self, completed: int, failed: int, running: int, workers: int
+    ) -> str:
+        """Build the status line; pure aside from reading elapsed time."""
+        done = completed + failed
+        parts = [f"[{done}/{self._total}]"]
+        if failed:
+            parts.append(f"failed={failed}")
+        if running:
+            parts.append(f"running={running}")
+        if workers > 1:
+            utilisation = running / workers if workers else 0.0
+            parts.append(f"workers={workers} util={utilisation:.0%}")
+        eta = self.eta(completed)
+        if eta is not None:
+            parts.append(f"eta={format_eta(eta)}")
+        return " ".join(parts)
+
+    def eta(self, completed: int) -> Optional[float]:
+        """Remaining seconds, from the post-cache completion rate."""
+        simulated = completed - self._cached
+        if simulated <= 0 or self._total <= completed:
+            return None
+        elapsed = time.perf_counter() - self._started
+        if elapsed <= 0:
+            return None
+        rate = simulated / elapsed
+        return (self._total - completed) / rate
+
+    def _emit(self, line: str, force: bool = False) -> None:
+        if not self.enabled:
+            return
+        if line == self._last_line and not force:
+            return
+        pad = max(0, len(self._last_line) - len(line))
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+        self._last_line = line

@@ -1,0 +1,48 @@
+"""Parallel, fault-tolerant experiment orchestration.
+
+The paper sweep is a grid of independent simulations — 105 two-core
+mixes x 7+ hierarchy variants, plus ratio and core-count studies —
+and every one of them is deterministic and identified by a content
+hash.  This package turns that grid into a job graph and executes it
+as fast as the machine allows:
+
+* :mod:`~repro.orchestrate.job` — :class:`SimJob` (one fully-resolved
+  simulation), :func:`job_key` (the content hash, identical to the
+  runner's disk-memo key) and :func:`execute_job` (pure executor,
+  picklable for worker dispatch).
+* :mod:`~repro.orchestrate.cache` — :class:`ResultCache`, the shared
+  memory+disk memo; jobs already cached are never re-executed, which
+  doubles as crash resume.
+* :mod:`~repro.orchestrate.manifest` — :class:`SweepManifest`, an
+  append-only JSONL journal of per-job outcomes that survives kills
+  mid-write.
+* :mod:`~repro.orchestrate.pool` — :class:`WorkerPool`, one process
+  per worker with per-job timeout, kill and respawn.
+* :mod:`~repro.orchestrate.scheduler` — :class:`Orchestrator`, the
+  policy layer: dedup, bounded retry with exponential backoff,
+  graceful degradation to serial execution, failure reporting.
+
+Figure drivers never use this directly; they call
+:meth:`repro.experiments.Runner.run_many`, which builds the jobs and
+hands them here.  ``REPRO_JOBS`` / ``--jobs`` select the worker count
+(1 = serial, no subprocesses at all).
+"""
+
+from .cache import ResultCache
+from .job import CACHE_SCHEMA, RunSummary, SimJob, execute_job, job_key
+from .manifest import ManifestRecord, SweepManifest
+from .pool import WorkerPool
+from .scheduler import Orchestrator
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ManifestRecord",
+    "Orchestrator",
+    "ResultCache",
+    "RunSummary",
+    "SimJob",
+    "SweepManifest",
+    "WorkerPool",
+    "execute_job",
+    "job_key",
+]

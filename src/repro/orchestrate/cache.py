@@ -1,0 +1,57 @@
+"""Result memo shared by the serial runner and the orchestrator.
+
+One :class:`ResultCache` fronts both an in-process dict and the
+``.repro-cache`` disk directory.  All writes funnel through
+:meth:`ResultCache.store` in the *parent* process — workers only ever
+return summaries over a pipe — so parallel sweeps produce cache files
+byte-identical to serial ones and there is never a concurrent writer
+per entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional
+
+from .job import RunSummary
+
+
+class ResultCache:
+    """Two-level (memory, disk) memo of :class:`RunSummary` by job key."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self._memory: Dict[str, RunSummary] = {}
+        self._disk: Optional[Path] = None
+        if cache_dir:
+            self._disk = Path(cache_dir)
+            self._disk.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Optional[Path]:
+        """The disk directory, or ``None`` for a memory-only cache."""
+        return self._disk
+
+    def path_for(self, key: str) -> Optional[Path]:
+        return self._disk / f"{key}.json" if self._disk is not None else None
+
+    def load(self, key: str) -> Optional[RunSummary]:
+        if key in self._memory:
+            return self._memory[key]
+        path = self.path_for(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            summary = RunSummary(**data)
+        except (ValueError, TypeError):
+            return None  # stale/corrupt cache entry; recompute
+        self._memory[key] = summary
+        return summary
+
+    def store(self, key: str, summary: RunSummary) -> None:
+        self._memory[key] = summary
+        path = self.path_for(key)
+        if path is not None:
+            path.write_text(json.dumps(asdict(summary)))

@@ -1,0 +1,164 @@
+"""Simulation jobs: the unit of work the orchestrator schedules.
+
+A :class:`SimJob` is a fully-resolved, picklable description of one
+(mix x hierarchy-variant) simulation — every default already applied,
+so executing it needs no settings object, no environment and no shared
+state.  :func:`job_key` derives the job's identity as a content hash;
+it is *the* disk-memo key of :class:`repro.experiments.Runner`, which
+is what lets the orchestrator deduplicate a sweep against the existing
+``.repro-cache`` and lets a killed sweep resume from whatever jobs
+already finished.
+
+:func:`execute_job` is a module-level function (picklable under every
+``multiprocessing`` start method) that runs the simulation and returns
+a :class:`RunSummary`; the same function serves the serial fallback
+and the worker processes, so parallel runs are byte-for-byte identical
+to serial ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import TLAConfig, baseline_hierarchy, variant_sim_config
+from ..cpu import CMPSimulator
+from ..version import __version__
+from ..workloads import WorkloadMix
+
+#: Bump when simulator behaviour changes to invalidate stale caches.
+CACHE_SCHEMA = 6
+
+
+@dataclass
+class RunSummary:
+    """The slice of a :class:`repro.cpu.SimResult` experiments consume."""
+
+    mix: str
+    apps: List[str]
+    mode: str
+    tla: str
+    ipcs: List[float]
+    llc_misses: int
+    llc_accesses: int
+    inclusion_victims: int
+    traffic: Dict[str, int]
+    max_cycles: float
+    instructions: List[int]
+    mpki: List[Dict[str, float]]
+
+    @property
+    def throughput(self) -> float:
+        return sum(self.ipcs)
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One schedulable simulation, with every knob resolved.
+
+    ``quota``/``warmup``/``scale`` carry concrete values (no
+    settings-dependent defaults) and ``tla_config`` is the resolved
+    :class:`~repro.config.TLAConfig`, so two jobs are interchangeable
+    exactly when their :func:`job_key` matches.
+    """
+
+    mix_name: str
+    apps: Tuple[str, ...]
+    mode: str = "inclusive"
+    tla: str = "none"
+    tla_config: TLAConfig = TLAConfig()
+    llc_bytes: Optional[int] = None
+    scale: float = 1.0
+    quota: int = 100_000
+    warmup: int = 0
+    victim_cache_entries: int = 0
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.apps)
+
+    def label(self) -> str:
+        """Short human-readable identity for progress lines and logs."""
+        return f"{self.mix_name}/{self.mode}/{self.tla}"
+
+
+def job_key(job: SimJob) -> str:
+    """Content hash identifying a job == the runner's disk-memo key.
+
+    The payload is serialised with ``sort_keys=True`` and contains only
+    JSON scalars/containers, so the key is independent of dict insertion
+    order, ``PYTHONHASHSEED`` and the computing process — a hard
+    requirement for cross-process deduplication (asserted by
+    ``tests/experiments/test_cache_key.py``).
+    """
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            # keyed by app composition, not mix name, so a Table II
+            # mix and the identical PAIR_* mix share one simulation
+            "apps": job.apps,
+            "mode": job.mode,
+            "tla": job.tla,
+            "tla_cfg": asdict(job.tla_config),
+            "llc_bytes": job.llc_bytes,
+            "scale": job.scale,
+            "quota": job.quota,
+            "warmup": job.warmup,
+            "vc": job.victim_cache_entries,
+        },
+        sort_keys=True,
+        default=list,
+    )
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+def execute_job(job: SimJob) -> RunSummary:
+    """Run one job's simulation from scratch and summarise it.
+
+    Deterministic: traces are seeded from the app/core identity, the
+    machine is rebuilt from the job description, and nothing is read
+    from the environment — the contract that makes worker-pool results
+    interchangeable with serial ones.
+    """
+    mix = WorkloadMix(job.mix_name, job.apps)
+    # Workload generators always size against the scaled 2-core
+    # baseline, regardless of the simulated variant (Table I's
+    # categories are baseline-relative).
+    reference = baseline_hierarchy(2, scale=job.scale)
+    config = variant_sim_config(
+        num_cores=mix.num_cores,
+        mode=job.mode,
+        tla=job.tla_config,
+        llc_bytes=job.llc_bytes,
+        scale=job.scale,
+        quota=job.quota,
+        warmup=job.warmup,
+        victim_cache_entries=job.victim_cache_entries,
+    )
+    result = CMPSimulator(config, mix.traces(reference)).run()
+    return RunSummary(
+        mix=mix.name,
+        apps=list(mix.apps),
+        mode=job.mode,
+        tla=job.tla,
+        ipcs=result.ipcs,
+        llc_misses=result.total_llc_misses,
+        llc_accesses=result.total_llc_accesses,
+        inclusion_victims=result.total_inclusion_victims,
+        traffic=dict(result.traffic),
+        max_cycles=result.max_cycles,
+        instructions=[core.instructions for core in result.cores],
+        mpki=[
+            {
+                "l1": core.mpki("l1"),
+                "l1i": core.mpki("l1i"),
+                "l1d": core.mpki("l1d"),
+                "l2": core.mpki("l2"),
+                "llc": core.mpki("llc"),
+            }
+            for core in result.cores
+        ],
+    )

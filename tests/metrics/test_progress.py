@@ -1,0 +1,93 @@
+"""ProgressReporter: pure rendering, ETA math, TTY gating."""
+
+import io
+
+from repro.metrics import ProgressReporter, format_eta
+
+
+class TestFormatEta:
+    def test_minutes_seconds(self):
+        assert format_eta(0) == "00:00"
+        assert format_eta(65) == "01:05"
+        assert format_eta(599.6) == "10:00"
+
+    def test_hours(self):
+        assert format_eta(3600) == "1:00:00"
+        assert format_eta(3_725) == "1:02:05"
+
+    def test_negative_clamped(self):
+        assert format_eta(-5) == "00:00"
+
+
+class TestRender:
+    def make(self, total=10, cached=0):
+        reporter = ProgressReporter(stream=io.StringIO(), enabled=True)
+        reporter.start(total, cached=cached)
+        return reporter
+
+    def test_basic_counts(self):
+        line = self.make().render(completed=3, failed=0, running=0, workers=1)
+        assert line.startswith("[3/10]")
+        assert "failed" not in line and "workers" not in line
+
+    def test_failed_and_running_shown(self):
+        line = self.make().render(completed=3, failed=2, running=4, workers=4)
+        assert "[5/10]" in line  # done = completed + failed
+        assert "failed=2" in line
+        assert "running=4" in line
+        assert "workers=4 util=100%" in line
+
+    def test_partial_utilisation(self):
+        line = self.make().render(completed=0, failed=0, running=1, workers=4)
+        assert "util=25%" in line
+
+    def test_eta_appears_once_jobs_complete(self):
+        reporter = self.make()
+        assert "eta=" not in reporter.render(0, 0, 4, 4)
+        assert "eta=" in reporter.render(5, 0, 4, 4)
+
+    def test_eta_excludes_cache_hits_from_rate(self):
+        """Cache hits are instant; counting them would wildly
+        underestimate the remaining time."""
+        reporter = self.make(total=10, cached=4)
+        # Only cache hits so far: no measured rate, no ETA.
+        assert reporter.eta(completed=4) is None
+        assert reporter.eta(completed=6) is not None
+
+    def test_eta_none_when_done(self):
+        assert self.make().eta(completed=10) is None
+
+
+class TestEmission:
+    def test_disabled_reporter_writes_nothing(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, enabled=False)
+        reporter.start(5)
+        reporter.update(completed=1, failed=0, running=2, workers=2)
+        reporter.finish()
+        assert stream.getvalue() == ""
+
+    def test_non_tty_stream_defaults_to_disabled(self):
+        assert ProgressReporter(stream=io.StringIO()).enabled is False
+
+    def test_enabled_reporter_overwrites_one_line(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, enabled=True, min_interval=0.0)
+        reporter.start(5)
+        reporter.update(completed=1, failed=0, running=1, workers=1)
+        reporter.update(completed=2, failed=0, running=1, workers=1)
+        reporter.finish()
+        output = stream.getvalue()
+        assert "\r[1/5]" in output
+        assert "\r[2/5]" in output
+        assert output.endswith("\n")
+
+    def test_shorter_line_padded_over_longer_one(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, enabled=True, min_interval=0.0)
+        reporter.start(5)
+        reporter.update(completed=1, failed=1, running=3, workers=4)
+        long_line = stream.getvalue().split("\r")[-1]
+        reporter.update(completed=5, failed=0, running=0, workers=4)
+        final = stream.getvalue().split("\r")[-1]
+        assert len(final) >= len(long_line)  # stale tail blanked out

@@ -1,0 +1,221 @@
+"""Orchestrator failure paths: timeout, retry, permanent failure, resume.
+
+Fake jobs are plain strings (``key_fn=str``) whose text encodes the
+behaviour; cross-process state (attempt counts, execution markers)
+lives in a temp directory so the same fakes work in pool workers and
+in the serial path.  All fake executors are module-level functions so
+they stay picklable under any multiprocessing start method.
+"""
+
+import hashlib
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import OrchestrationError
+from repro.orchestrate import Orchestrator, ResultCache, RunSummary, SweepManifest
+
+
+def _slug(job: str) -> str:
+    return hashlib.sha1(job.encode()).hexdigest()[:16]
+
+
+def _bump_attempts(directory: str, job: str) -> int:
+    """Record one more attempt for ``job``; returns the new count."""
+    path = Path(directory) / f"{_slug(job)}.attempts"
+    count = int(path.read_text()) if path.exists() else 0
+    count += 1
+    path.write_text(str(count))
+    return count
+
+
+def _summary(job: str) -> RunSummary:
+    return RunSummary(
+        mix=job,
+        apps=["dea"],
+        mode="inclusive",
+        tla="none",
+        ipcs=[1.0],
+        llc_misses=0,
+        llc_accesses=1,
+        inclusion_victims=0,
+        traffic={},
+        max_cycles=1.0,
+        instructions=[1],
+        mpki=[{}],
+    )
+
+
+def scripted_execute(job: str) -> RunSummary:
+    """Execute a job string of the form ``<behaviour>:<dir>[:<n>]``.
+
+    * ``ok:<dir>``          — record the attempt and succeed.
+    * ``flaky:<dir>:<n>``   — fail the first ``n`` attempts, then succeed.
+    * ``fail:<dir>``        — fail every attempt.
+    * ``hang:<dir>:<n>``    — sleep ``n`` seconds on the first attempt
+      (forcing a per-job timeout), succeed on any later attempt.
+    * ``abort:<dir>``       — raise ``KeyboardInterrupt`` (simulates the
+      sweep process being killed mid-run in serial mode).
+    """
+    parts = job.split(":")
+    behaviour, directory = parts[0], parts[1]
+    attempts = _bump_attempts(directory, job)
+    if behaviour == "flaky" and attempts <= int(parts[2]):
+        raise RuntimeError(f"transient failure #{attempts}")
+    if behaviour == "fail":
+        raise RuntimeError("permanent failure")
+    if behaviour == "hang" and attempts == 1:
+        time.sleep(float(parts[2]))
+    if behaviour == "abort":
+        raise KeyboardInterrupt
+    return _summary(job)
+
+
+def attempt_count(directory, job: str) -> int:
+    path = Path(directory) / f"{_slug(job)}.attempts"
+    return int(path.read_text()) if path.exists() else 0
+
+
+@pytest.fixture(params=[1, 2], ids=["serial", "pool"])
+def make_orchestrator(request, tmp_path):
+    """Build orchestrators for both execution strategies."""
+
+    def build(**kwargs):
+        kwargs.setdefault("jobs", request.param)
+        kwargs.setdefault("execute", scripted_execute)
+        kwargs.setdefault("key_fn", str)
+        kwargs.setdefault("backoff", 0.0)
+        return Orchestrator(**kwargs)
+
+    return build
+
+
+class TestRetry:
+    def test_transient_failure_retried_to_success(self, make_orchestrator, tmp_path):
+        job = f"flaky:{tmp_path}:1"
+        orchestrator = make_orchestrator(retries=2)
+        results = orchestrator.run([job, f"ok:{tmp_path}"])
+        assert results[job].mix == job
+        assert attempt_count(tmp_path, job) == 2
+        assert not orchestrator.failures
+
+    def test_permanent_failure_reported_after_retry_budget(
+        self, make_orchestrator, tmp_path
+    ):
+        job = f"fail:{tmp_path}"
+        ok = f"ok:{tmp_path}"
+        orchestrator = make_orchestrator(retries=1)
+        with pytest.raises(OrchestrationError, match="permanent failure"):
+            orchestrator.run([job, ok])
+        assert attempt_count(tmp_path, job) == 2  # 1 try + 1 retry
+        assert job in orchestrator.failures
+        # The healthy job still completed despite the failing one.
+        assert attempt_count(tmp_path, ok) == 1
+
+    def test_raise_on_failure_false_returns_partial_results(
+        self, make_orchestrator, tmp_path
+    ):
+        job = f"fail:{tmp_path}"
+        ok = f"ok:{tmp_path}"
+        orchestrator = make_orchestrator(retries=0)
+        results = orchestrator.run([job, ok], raise_on_failure=False)
+        assert ok in results and job not in results
+        assert list(orchestrator.failures) == [job]
+
+    def test_failures_recorded_in_manifest(self, make_orchestrator, tmp_path):
+        manifest = SweepManifest(tmp_path / "manifest.jsonl")
+        job = f"fail:{tmp_path}"
+        orchestrator = make_orchestrator(retries=1, manifest=manifest)
+        orchestrator.run([job, f"ok:{tmp_path}"], raise_on_failure=False)
+        record = manifest.failed()[job]
+        assert record.attempts == 2
+        assert "permanent failure" in record.error
+
+
+class TestTimeout:
+    # NB: a second healthy job keeps the sweep in pool mode — a
+    # one-job sweep collapses to serial execution, which (documented)
+    # cannot enforce per-job timeouts.
+
+    def test_hung_job_times_out_and_retries_on_fresh_worker(self, tmp_path):
+        job = f"hang:{tmp_path}:60"
+        orchestrator = Orchestrator(
+            jobs=2,
+            execute=scripted_execute,
+            key_fn=str,
+            timeout=0.5,
+            retries=1,
+            backoff=0.0,
+        )
+        start = time.perf_counter()
+        results = orchestrator.run([job, f"ok:{tmp_path}"])
+        assert time.perf_counter() - start < 30.0  # killed, not slept out
+        assert results[job].mix == job
+        assert attempt_count(tmp_path, job) == 2
+
+    def test_hung_job_without_retries_is_permanent_failure(self, tmp_path):
+        job = f"hang:{tmp_path}:60"
+        orchestrator = Orchestrator(
+            jobs=2,
+            execute=scripted_execute,
+            key_fn=str,
+            timeout=0.5,
+            retries=0,
+            backoff=0.0,
+        )
+        with pytest.raises(OrchestrationError, match="timeout"):
+            orchestrator.run([job, f"ok:{tmp_path}"])
+
+
+class TestResume:
+    def test_killed_sweep_resumes_only_unfinished_jobs(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        manifest = SweepManifest(tmp_path / "manifest.jsonl")
+        finished = [f"ok:{tmp_path}:{i}" for i in range(3)]
+        aborting = f"abort:{tmp_path}"
+        unfinished = [f"ok:{tmp_path}:late{i}" for i in range(2)]
+        sweep = finished + [aborting] + unfinished
+
+        # Job strings hold paths/colons, so hash them into cache-safe
+        # keys — exactly what job_key does for real SimJobs.
+        first = Orchestrator(
+            jobs=1,
+            execute=scripted_execute,
+            key_fn=_slug,
+            cache=cache,
+            manifest=manifest,
+            backoff=0.0,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            first.run(sweep)  # "crash" mid-sweep
+        for job in finished:
+            assert attempt_count(tmp_path, job) == 1
+        for job in unfinished:
+            assert attempt_count(tmp_path, job) == 0
+        assert manifest.done_keys() == {_slug(job) for job in finished}
+
+        # Resume: swap in an executor that succeeds for every job (the
+        # 'abort' job no longer dies), re-submit the identical sweep.
+        second = Orchestrator(
+            jobs=1,
+            execute=resume_execute,
+            key_fn=_slug,
+            cache=cache,
+            manifest=manifest,
+            backoff=0.0,
+        )
+        results = second.run(sweep)
+        assert set(results) == {_slug(job) for job in sweep}
+        # Finished jobs were served from cache: still exactly 1 attempt.
+        for job in finished:
+            assert attempt_count(tmp_path, job) == 1
+        for job in unfinished:
+            assert attempt_count(tmp_path, job) == 1
+
+
+def resume_execute(job: str) -> RunSummary:
+    """Second-run executor: every job succeeds, attempts still recorded."""
+    directory = job.split(":")[1]
+    _bump_attempts(directory, job)
+    return _summary(job)
