@@ -31,6 +31,7 @@ from typing import FrozenSet, Iterable, Set
 
 from ..coherence import MessageType
 from ..errors import ConfigurationError
+from ..telemetry.events import EVENT_QBS_PROMOTE
 from .tla import TLAPolicy
 
 
@@ -80,6 +81,13 @@ class QueryBasedSelection(TLAPolicy):
             # Spare the line: refresh its LLC replacement state.
             llc.promote_way(set_index, way)
             self.rejections += 1
+            if hierarchy.tracer is not None:
+                hierarchy.tracer.emit(
+                    hierarchy.clock,
+                    EVENT_QBS_PROMOTE,
+                    core=core_id,
+                    line=line.line_addr,
+                )
             if self.back_invalidate:
                 # Modified QBS (footnote 6): behave like ECI towards
                 # the core caches while still sparing the LLC copy.

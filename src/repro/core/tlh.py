@@ -22,6 +22,7 @@ from typing import FrozenSet, Iterable
 
 from ..coherence import MessageType
 from ..errors import ConfigurationError
+from ..telemetry.events import EVENT_TLH_HINT
 from .tla import TLAPolicy
 
 
@@ -76,6 +77,10 @@ class TemporalLocalityHints(TLAPolicy):
             self._fired = due
         hierarchy.traffic.record(MessageType.TLH_HINT)
         self.hints_sent += 1
+        if hierarchy.tracer is not None:
+            hierarchy.tracer.emit(
+                hierarchy.clock, EVENT_TLH_HINT, core=core_id, line=line_addr
+            )
         if hierarchy.llc.promote(line_addr):
             self.hints_applied += 1
 

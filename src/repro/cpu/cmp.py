@@ -18,6 +18,12 @@ from ..config import SimConfig
 from ..errors import SimulationError
 from ..hierarchy import BaseHierarchy, CoreAccessStats, build_hierarchy
 from ..hierarchy.mshr import MSHRFile
+from ..telemetry import (
+    IntervalCollector,
+    IntervalSeries,
+    TelemetryConfig,
+    Tracer,
+)
 from ..workloads.trace import TraceRecord
 from .core import SimulatedCore
 
@@ -50,6 +56,9 @@ class SimResult:
     #: messages-per-kilo-cycle traffic rates.
     max_cycles: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: fixed-window telemetry time series (None unless the run had
+    #: telemetry configured; see :mod:`repro.telemetry.intervals`).
+    intervals: Optional[IntervalSeries] = None
 
     @property
     def ipcs(self) -> List[float]:
@@ -81,6 +90,7 @@ class CMPSimulator:
         config: SimConfig,
         traces: Sequence[Iterator[TraceRecord]],
         hierarchy: Optional[BaseHierarchy] = None,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         if len(traces) != config.hierarchy.num_cores:
             raise SimulationError(
@@ -96,6 +106,26 @@ class CMPSimulator:
             SimulatedCore(core_id, trace, self.hierarchy, config, self.mshr)
             for core_id, trace in enumerate(traces)
         ]
+        # Telemetry session: a tracer on the hierarchy/MSHR hook sites
+        # (event tracing) and an interval collector driven by the step
+        # hook (time series).  Inactive telemetry installs nothing, so
+        # the simulation paths stay hook-free.
+        self.tracer: Optional[Tracer] = None
+        self._collector: Optional[IntervalCollector] = None
+        if telemetry is not None and telemetry.active:
+            if telemetry.enabled:
+                self.tracer = Tracer(
+                    categories=telemetry.categories,
+                    sample=telemetry.sample,
+                    max_events=telemetry.max_events,
+                )
+                self.hierarchy.tracer = self.tracer
+                self.mshr.tracer = self.tracer
+            self._collector = IntervalCollector(
+                self.hierarchy, telemetry.effective_interval
+            )
+            for core in self.cores:
+                core.attach_collector(self._collector)
 
     def run(self, check_invariants_every: int = 0) -> SimResult:
         """Run until every core completes its quota; returns results.
@@ -158,6 +188,10 @@ class CMPSimulator:
                     stats=self.hierarchy.core_stats[core.core_id],
                 )
             )
+        max_cycles = max(result.cycles for result in core_results)
+        intervals: Optional[IntervalSeries] = None
+        if self._collector is not None:
+            intervals = self._collector.finalize(max_cycles)
         return SimResult(
             config=self.config,
             cores=core_results,
@@ -165,7 +199,8 @@ class CMPSimulator:
             total_inclusion_victims=self.hierarchy.total_inclusion_victims,
             llc_stats=self.hierarchy.llc.stats.snapshot(),
             tla_name=self.hierarchy.tla.name,
-            max_cycles=max(result.cycles for result in core_results),
+            max_cycles=max_cycles,
+            intervals=intervals,
         )
 
 
@@ -177,6 +212,8 @@ def run_simulation(
     config: SimConfig,
     traces: Sequence[Iterator[TraceRecord]],
     check_invariants_every: int = 0,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`CMPSimulator`."""
-    return CMPSimulator(config, traces).run(check_invariants_every)
+    simulator = CMPSimulator(config, traces, telemetry=telemetry)
+    return simulator.run(check_invariants_every)

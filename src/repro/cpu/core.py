@@ -46,6 +46,13 @@ class SimulatedCore:
         self.cycles_at_quota: Optional[float] = None
         self._exhausted = False
         self._quota_end = self.warmup + self.quota
+        #: interval collector hook; None (the default) keeps the step
+        #: loop free of telemetry work.
+        self._collector = None
+
+    def attach_collector(self, collector) -> None:
+        """Install the telemetry hook (advances the hierarchy clock)."""
+        self._collector = collector
 
     @property
     def instructions(self) -> int:
@@ -87,6 +94,13 @@ class SimulatedCore:
         instructions = timing.instructions
         recording = self.warmup <= instructions < self._quota_end
         timing.advance(gap)
+        collector = self._collector
+        if collector is not None:
+            # Telemetry clock: events fired by this access are stamped
+            # with the issuing core's cycle count, and the interval
+            # collector folds counter deltas at window boundaries.
+            self.hierarchy.clock = timing.cycles
+            collector.tick(timing.cycles)
         level = self.hierarchy.access(
             self.core_id, address, kind, record_stats=recording
         )

@@ -24,8 +24,11 @@ from dataclasses import replace
 from typing import List, Optional
 
 from ..metrics import ProgressReporter
+from ..telemetry import RunTelemetry, TelemetryConfig, get_logger
 from .registry import EXPERIMENTS, run_experiment
 from .runner import ExperimentSettings, Runner
+
+log = get_logger("repro.experiments")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -56,6 +59,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="force the live progress line even on a non-TTY stderr",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record telemetry events and export JSONL + Chrome-trace "
+        "artefacts (overrides REPRO_TRACE)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="telemetry export directory (default: traces/, or "
+        "REPRO_TRACE_OUT)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="record 1 in N eligible events (exact counts are kept "
+        "regardless; overrides REPRO_TRACE_SAMPLE)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -70,12 +94,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     settings = ExperimentSettings.from_env()
     if args.jobs is not None:
         settings = replace(settings, jobs=args.jobs)
+    telemetry_config = settings.telemetry
+    if args.trace or args.trace_out is not None or args.trace_sample is not None:
+        telemetry_config = TelemetryConfig(
+            enabled=args.trace or telemetry_config.enabled,
+            out_dir=args.trace_out or telemetry_config.out_dir,
+            sample=args.trace_sample or telemetry_config.sample,
+            interval=telemetry_config.interval,
+            categories=telemetry_config.categories,
+        )
+        settings = replace(settings, telemetry=telemetry_config)
+    run_telemetry = (
+        RunTelemetry(telemetry_config) if telemetry_config.active else None
+    )
     reporter = ProgressReporter(enabled=True if args.progress else None)
-    runner = Runner(settings, reporter=reporter)
+    runner = Runner(settings, reporter=reporter, telemetry=run_telemetry)
     print(
         f"# settings: scale={settings.scale} quota={settings.quota} "
         f"warmup={settings.warmup} sample={settings.sample} "
         f"full={settings.full} jobs={settings.jobs}"
+        + (
+            f" trace={telemetry_config.out_dir}"
+            if telemetry_config.active
+            else ""
+        )
     )
     for name in names:
         start = time.perf_counter()
@@ -92,6 +134,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             directory = Path(args.json_dir)
             directory.mkdir(parents=True, exist_ok=True)
             export.to_json(result, directory / f"{name}.json")
+    if run_telemetry is not None:
+        paths = run_telemetry.write(
+            settings={
+                "scale": settings.scale,
+                "quota": settings.quota,
+                "warmup": settings.warmup,
+                "jobs": settings.jobs,
+                "experiments": names,
+            }
+        )
+        log.info(
+            "telemetry_written",
+            trace=str(paths["trace"]),
+            manifest=str(paths["manifest"]),
+        )
     return 0
 
 

@@ -35,6 +35,7 @@ from ..orchestrate import (
     execute_job,
     job_key,
 )
+from ..telemetry import TelemetryConfig
 from ..workloads import WorkloadMix, all_two_core_mixes
 
 __all__ = [
@@ -68,6 +69,9 @@ class ExperimentSettings:
     jobs: int = 1
     #: per-job timeout in seconds (parallel runs only); None = none.
     job_timeout: Optional[float] = None
+    #: telemetry knobs (event tracing / interval series); default off
+    #: so settings-driven runs take the exact pre-telemetry path.
+    telemetry: TelemetryConfig = TelemetryConfig()
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
@@ -83,6 +87,7 @@ class ExperimentSettings:
             cache_dir=env.get("REPRO_CACHE_DIR", ".repro-cache"),
             jobs=int(env.get("REPRO_JOBS", 1)),
             job_timeout=float(timeout) if timeout else None,
+            telemetry=TelemetryConfig.from_env(),
         )
 
 
@@ -96,6 +101,7 @@ def cache_key(
     quota: Optional[int] = None,
     warmup: Optional[int] = None,
     victim_cache_entries: int = 0,
+    intervals: Optional[int] = None,
 ) -> str:
     """The disk-memo key of one run, computable in any process.
 
@@ -108,7 +114,7 @@ def cache_key(
     return job_key(
         _build_job(
             settings, mix, mode, tla, llc_bytes, tla_config, quota, warmup,
-            victim_cache_entries,
+            victim_cache_entries, intervals,
         )
     )
 
@@ -123,8 +129,16 @@ def _build_job(
     quota: Optional[int] = None,
     warmup: Optional[int] = None,
     victim_cache_entries: int = 0,
+    intervals: Optional[int] = None,
 ) -> SimJob:
-    """Resolve a run request against ``settings`` into a ``SimJob``."""
+    """Resolve a run request against ``settings`` into a ``SimJob``.
+
+    ``intervals`` (a collector window in cycles) can be requested per
+    run — drivers that consume interval series, like the traffic
+    study, ask for it explicitly — and otherwise follows the settings'
+    telemetry config.
+    """
+    telemetry = settings.telemetry
     return SimJob(
         mix_name=mix.name,
         apps=tuple(mix.apps),
@@ -136,6 +150,11 @@ def _build_job(
         quota=quota if quota is not None else settings.quota,
         warmup=warmup if warmup is not None else settings.warmup,
         victim_cache_entries=victim_cache_entries,
+        intervals=intervals if intervals is not None else telemetry.interval,
+        trace=telemetry.enabled,
+        trace_out=telemetry.out_dir if telemetry.enabled else None,
+        trace_sample=telemetry.sample,
+        trace_categories=telemetry.categories,
     )
 
 
@@ -149,6 +168,7 @@ class Runner:
         self,
         settings: Optional[ExperimentSettings] = None,
         reporter=None,
+        telemetry=None,
     ) -> None:
         self.settings = settings or ExperimentSettings.from_env()
         #: reference machine the workload generators size against —
@@ -160,6 +180,9 @@ class Runner:
         #: (anything with start/update/finish, e.g.
         #: :class:`repro.metrics.ProgressReporter`).
         self.reporter = reporter
+        #: optional :class:`repro.telemetry.RunTelemetry` receiving
+        #: per-run provenance from both the serial and batch paths.
+        self.telemetry = telemetry
 
     # -- the workhorse ---------------------------------------------------------
     def run(
@@ -172,23 +195,40 @@ class Runner:
         quota: Optional[int] = None,
         warmup: Optional[int] = None,
         victim_cache_entries: int = 0,
+        intervals: Optional[int] = None,
     ) -> RunSummary:
         """Simulate ``mix`` on one machine variant (cached).
 
         ``tla`` names a preset from :data:`repro.config.TLA_PRESETS`;
         pass ``tla_config`` instead for non-preset variants (query
         limits, hint sampling) together with a unique ``tla`` label.
+        ``intervals`` requests a fixed-window telemetry time series on
+        the summary (the window in cycles); interval runs cache under
+        their own key, so they never shadow plain runs.
         """
         job = _build_job(
             self.settings, mix, mode, tla, llc_bytes, tla_config, quota,
-            warmup, victim_cache_entries,
+            warmup, victim_cache_entries, intervals,
         )
         key = job_key(job)
         cached = self.cache.load(key)
         if cached is not None:
+            if self.telemetry is not None:
+                self.telemetry.note_cached(key, job.label())
             return cached
+        start = self.telemetry.now() if self.telemetry is not None else 0.0
         summary = execute_job(job)
         self.cache.store(key, summary)
+        if self.telemetry is not None:
+            self.telemetry.note_executed(
+                key,
+                job.label(),
+                "done",
+                attempts=1,
+                start=start,
+                end=self.telemetry.now(),
+                telemetry=summary.telemetry,
+            )
         return summary
 
     def run_many(
@@ -223,6 +263,7 @@ class Runner:
             manifest=self._manifest(),
             timeout=self.settings.job_timeout,
             reporter=self.reporter,
+            telemetry=self.telemetry,
         )
         results = orchestrator.run(sim_jobs)
         return [results[job_key(job)] for job in sim_jobs]

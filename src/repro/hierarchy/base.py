@@ -21,10 +21,16 @@ from ..coherence import Directory, MessageType, TrafficMeter
 from ..config import HierarchyConfig
 from ..errors import SimulationError
 from ..sanitize.base import HierarchySanitizer, sanitizer_from_config
+from ..telemetry.events import (
+    EVENT_INCLUSION_VICTIM,
+    EVENT_LLC_EVICT,
+    EVENT_QBS_QUERY,
+)
 from .levels import CoreCaches
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.tla import TLAPolicy
+    from ..telemetry import Tracer
 
 #: access() return codes, in increasing latency order.
 HIT_L1 = 0
@@ -112,6 +118,12 @@ class BaseHierarchy:
         auto_sanitizer = sanitizer_from_config(config.sanitize)
         if auto_sanitizer is not None:
             self.attach_sanitizer(auto_sanitizer)
+        #: telemetry tracer; stays None unless a telemetry-enabled run
+        #: installs one, so untraced hook sites pay one ``is None`` test.
+        self.tracer: Optional["Tracer"] = None
+        #: approximate global cycle clock for event timestamps, advanced
+        #: by the CPU step hook only while telemetry is active.
+        self.clock = 0.0
         self.tla: "TLAPolicy" = _make_none_policy()
         self.tla.attach(self)
 
@@ -295,6 +307,14 @@ class BaseHierarchy:
             way = self.tla.select_llc_victim(core_id, set_index)
             victim = self.llc.evict_way(set_index, way)
         self.llc.fill_way(set_index, way, line_addr)
+        if self.tracer is not None and victim is not None:
+            self.tracer.emit(
+                self.clock,
+                EVENT_LLC_EVICT,
+                core=core_id,
+                line=victim.line_addr,
+                extra={"dirty": victim.dirty},
+            )
         if self._observers:
             self._notify("on_llc_fill", line_addr)
             if victim is not None:
@@ -321,6 +341,7 @@ class BaseHierarchy:
         instead.  Returns True if any core actually held a copy.
         """
         any_present = False
+        tracer = self.tracer
         if not record_inclusion_victim and self.sanitizer is not None:
             # ECI / modified QBS: the line stays LLC-resident while its
             # core copies are deliberately removed.  Tell the sanitizer
@@ -328,6 +349,10 @@ class BaseHierarchy:
             self.sanitizer.note_intentional_invalidate(line_addr)
         for sharer in self.directory.sharers(line_addr):
             self.traffic.record(message)
+            if tracer is not None:
+                # BACK_INVALIDATE / ECI_INVALIDATE message values double
+                # as the event names (same taxonomy by construction).
+                tracer.emit(self.clock, message.value, core=sharer, line=line_addr)
             present, dirty = self.cores[sharer].invalidate_all(line_addr)
             self.directory.on_core_invalidated(line_addr, sharer)
             if not present:
@@ -341,6 +366,13 @@ class BaseHierarchy:
             if record_inclusion_victim:
                 self.total_inclusion_victims += 1
                 self.core_stats[sharer].inclusion_victims += 1
+                if tracer is not None:
+                    tracer.emit(
+                        self.clock,
+                        EVENT_INCLUSION_VICTIM,
+                        core=sharer,
+                        line=line_addr,
+                    )
                 if self._observers:
                     self._notify("on_inclusion_victim", sharer, line_addr)
             else:
@@ -356,9 +388,14 @@ class BaseHierarchy:
         Queries only cores the directory marks as possible sharers and
         charges one QBS_QUERY message per probed core.
         """
+        tracer = self.tracer
         for sharer in self.directory.sharers(line_addr):
             if count_queries:
                 self.traffic.record(MessageType.QBS_QUERY)
+                if tracer is not None:
+                    tracer.emit(
+                        self.clock, EVENT_QBS_QUERY, core=sharer, line=line_addr
+                    )
             if self.cores[sharer].holds(line_addr, kinds):
                 return True
         return False

@@ -21,6 +21,7 @@ from typing import Optional
 from ..cache import EvictedLine
 from ..coherence import MessageType
 from ..errors import ExclusionViolationError
+from ..telemetry.events import EVENT_LLC_MISS
 from .base import HIT_LLC, HIT_MEMORY, BaseHierarchy, CoreAccessStats
 from .levels import CoreCaches
 
@@ -43,6 +44,8 @@ class ExclusiveHierarchy(BaseHierarchy):
             return HIT_LLC
         if stats is not None:
             stats.llc_misses += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.clock, EVENT_LLC_MISS, core=core_id, line=line_addr)
         self.traffic.record(MessageType.MEMORY_REQUEST)
         # Miss path: the LLC is NOT filled; the line goes straight to
         # the core caches (BaseHierarchy.access fills L2 then L1).

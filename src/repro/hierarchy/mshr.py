@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List
 
 from ..errors import ConfigurationError
+from ..telemetry.events import EVENT_MSHR_STALL
 
 
 @dataclass
@@ -38,6 +39,8 @@ class MSHRFile:
         self.num_entries = num_entries
         self._completions: List[int] = []
         self.stats = MSHRStats()
+        #: telemetry tracer, installed only for traced runs.
+        self.tracer = None
 
     def allocate(self, now: int, latency: int) -> int:
         """Allocate an entry for a miss issued at ``now``.
@@ -55,6 +58,12 @@ class MSHRFile:
                 issue = earliest
                 self.stats.stalls += 1
                 self.stats.stall_cycles += earliest - now
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        float(now),
+                        EVENT_MSHR_STALL,
+                        extra={"wait_cycles": earliest - now},
+                    )
         heapq.heappush(self._completions, issue + latency)
         self.stats.allocations += 1
         occupancy = len(self._completions)

@@ -18,6 +18,7 @@ from typing import Optional
 
 from ..cache import EvictedLine
 from ..coherence import MessageType
+from ..telemetry.events import EVENT_LLC_MISS
 from .base import HIT_LLC, HIT_MEMORY, BaseHierarchy, CoreAccessStats
 from .levels import CoreCaches
 
@@ -34,6 +35,8 @@ class NonInclusiveHierarchy(BaseHierarchy):
             return HIT_LLC
         if stats is not None:
             stats.llc_misses += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.clock, EVENT_LLC_MISS, core=core_id, line=line_addr)
         self.traffic.record(MessageType.MEMORY_REQUEST)
         self._fill_llc(core_id, line_addr)
         return HIT_MEMORY

@@ -20,6 +20,7 @@ from typing import Optional
 from ..cache import EvictedLine, VictimCache
 from ..coherence import MessageType
 from ..config import HierarchyConfig
+from ..telemetry.events import EVENT_LLC_MISS, EVENT_VCACHE_RESCUE
 from .base import HIT_LLC, HIT_MEMORY, CoreAccessStats
 from .inclusive import InclusiveHierarchy
 
@@ -42,12 +43,18 @@ class VictimCacheInclusiveHierarchy(InclusiveHierarchy):
         if rescued is not None:
             # Swap back into the LLC; the displaced LLC line follows
             # the normal eviction flow (and lands in the victim cache).
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.clock, EVENT_VCACHE_RESCUE, core=core_id, line=line_addr
+                )
             self._fill_llc(core_id, line_addr)
             if rescued.dirty:
                 self.llc.set_dirty(line_addr)
             return HIT_LLC
         if stats is not None:
             stats.llc_misses += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.clock, EVENT_LLC_MISS, core=core_id, line=line_addr)
         self.traffic.record(MessageType.MEMORY_REQUEST)
         self._fill_llc(core_id, line_addr)
         return HIT_MEMORY

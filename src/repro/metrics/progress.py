@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Optional, TextIO
+from typing import Callable, Optional, TextIO
 
 
 def format_eta(seconds: float) -> str:
@@ -33,11 +33,19 @@ def format_eta(seconds: float) -> str:
 class ProgressReporter:
     """Renders sweep progress to a stream, throttled to ``min_interval``."""
 
+    #: completions actually *simulated* this sweep before an ETA is
+    #: shown.  A cache-heavy sweep used to extrapolate its ETA from a
+    #: single simulated job — one unluckily slow (or fast) first job
+    #: made the estimate jump wildly between renders.  Two samples is
+    #: the minimum that averages anything.
+    MIN_ETA_SAMPLES = 2
+
     def __init__(
         self,
         stream: Optional[TextIO] = None,
         enabled: Optional[bool] = None,
         min_interval: float = 0.5,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.stream = stream if stream is not None else sys.stderr
         if enabled is None:
@@ -45,18 +53,26 @@ class ProgressReporter:
             enabled = bool(isatty())
         self.enabled = enabled
         self.min_interval = min_interval
+        #: elapsed-time source; injectable so tests can script it.
+        self._clock = clock if clock is not None else time.perf_counter
         self._total = 0
         self._cached = 0
         self._started = 0.0
         self._last_emit = 0.0
         self._last_line = ""
+        # telemetry digests accumulated from completed jobs
+        # (back-invalidate-class events and the cycles they span).
+        self._binv_events = 0
+        self._binv_cycles = 0.0
 
     # -- orchestrator interface ------------------------------------------------
     def start(self, total: int, cached: int = 0) -> None:
         self._total = total
         self._cached = cached
-        self._started = time.perf_counter()
+        self._started = self._clock()
         self._last_emit = 0.0
+        self._binv_events = 0
+        self._binv_cycles = 0.0
         if cached:
             self._emit(
                 self.render(completed=cached, failed=0, running=0, workers=0),
@@ -66,11 +82,27 @@ class ProgressReporter:
     def update(
         self, completed: int, failed: int, running: int, workers: int
     ) -> None:
-        now = time.perf_counter()
+        now = self._clock()
         if now - self._last_emit < self.min_interval:
             return
         self._last_emit = now
         self._emit(self.render(completed, failed, running, workers))
+
+    def note_result(self, summary) -> None:
+        """Fold one finished job's telemetry digest into the live rates.
+
+        Called by the orchestrator for every executed job; summaries
+        without telemetry (the default) contribute nothing.  Workers
+        ship only these compact digests over their result pipes, so the
+        live event rate costs no event shipping.
+        """
+        digest = getattr(summary, "telemetry", None)
+        if not digest:
+            return
+        counts = digest.get("counts") or {}
+        self._binv_events += counts.get("back_invalidate", 0)
+        self._binv_events += counts.get("eci_invalidate", 0)
+        self._binv_cycles += float(digest.get("max_cycles", 0.0))
 
     def finish(self) -> None:
         if self.enabled and self._last_line:
@@ -92,6 +124,9 @@ class ProgressReporter:
         if workers > 1:
             utilisation = running / workers if workers else 0.0
             parts.append(f"workers={workers} util={utilisation:.0%}")
+        if self._binv_cycles > 0:
+            rate = 1000.0 * self._binv_events / self._binv_cycles
+            parts.append(f"binv/kc={rate:.2f}")
         eta = self.eta(completed)
         if eta is not None:
             parts.append(f"eta={format_eta(eta)}")
@@ -100,9 +135,9 @@ class ProgressReporter:
     def eta(self, completed: int) -> Optional[float]:
         """Remaining seconds, from the post-cache completion rate."""
         simulated = completed - self._cached
-        if simulated <= 0 or self._total <= completed:
+        if simulated < self.MIN_ETA_SAMPLES or self._total <= completed:
             return None
-        elapsed = time.perf_counter() - self._started
+        elapsed = self._clock() - self._started
         if elapsed <= 0:
             return None
         rate = simulated / elapsed

@@ -54,4 +54,11 @@ class ResultCache:
         self._memory[key] = summary
         path = self.path_for(key)
         if path is not None:
-            path.write_text(json.dumps(asdict(summary)))
+            data = asdict(summary)
+            # Optional telemetry fields are omitted when unset so the
+            # cache files of untraced runs stay byte-identical to
+            # pre-telemetry entries (pinned by the golden tests).
+            for optional in ("intervals", "telemetry"):
+                if data.get(optional) is None:
+                    data.pop(optional, None)
+            path.write_text(json.dumps(data))

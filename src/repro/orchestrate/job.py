@@ -20,11 +20,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..config import TLAConfig, baseline_hierarchy, variant_sim_config
 from ..cpu import CMPSimulator
+from ..telemetry import TelemetryConfig, write_events_jsonl
 from ..version import __version__
 from ..workloads import WorkloadMix
 
@@ -48,10 +51,23 @@ class RunSummary:
     max_cycles: float
     instructions: List[int]
     mpki: List[Dict[str, float]]
+    #: serialised :class:`~repro.telemetry.IntervalSeries` (telemetry
+    #: runs only; ``None`` keeps untraced cache entries byte-identical).
+    intervals: Optional[Dict] = None
+    #: compact tracer/runtime digest (telemetry runs only).
+    telemetry: Optional[Dict] = None
 
     @property
     def throughput(self) -> float:
         return sum(self.ipcs)
+
+    def interval_series(self):
+        """Materialise the interval time series, or None."""
+        if self.intervals is None:
+            return None
+        from ..telemetry import IntervalSeries
+
+        return IntervalSeries.from_dict(self.intervals)
 
 
 @dataclass(frozen=True)
@@ -74,6 +90,14 @@ class SimJob:
     quota: int = 100_000
     warmup: int = 0
     victim_cache_entries: int = 0
+    #: telemetry knobs.  ``intervals`` is the collector window in
+    #: cycles (0 = off); ``trace`` turns on event recording.  All
+    #: default off so pre-telemetry job keys are unchanged.
+    intervals: int = 0
+    trace: bool = False
+    trace_out: Optional[str] = None
+    trace_sample: int = 1
+    trace_categories: Tuple[str, ...] = ()
 
     @property
     def num_cores(self) -> int:
@@ -93,25 +117,33 @@ def job_key(job: SimJob) -> str:
     requirement for cross-process deduplication (asserted by
     ``tests/experiments/test_cache_key.py``).
     """
-    payload = json.dumps(
-        {
-            "schema": CACHE_SCHEMA,
-            "version": __version__,
-            # keyed by app composition, not mix name, so a Table II
-            # mix and the identical PAIR_* mix share one simulation
-            "apps": job.apps,
-            "mode": job.mode,
-            "tla": job.tla,
-            "tla_cfg": asdict(job.tla_config),
-            "llc_bytes": job.llc_bytes,
-            "scale": job.scale,
-            "quota": job.quota,
-            "warmup": job.warmup,
-            "vc": job.victim_cache_entries,
-        },
-        sort_keys=True,
-        default=list,
-    )
+    fields = {
+        "schema": CACHE_SCHEMA,
+        "version": __version__,
+        # keyed by app composition, not mix name, so a Table II
+        # mix and the identical PAIR_* mix share one simulation
+        "apps": job.apps,
+        "mode": job.mode,
+        "tla": job.tla,
+        "tla_cfg": asdict(job.tla_config),
+        "llc_bytes": job.llc_bytes,
+        "scale": job.scale,
+        "quota": job.quota,
+        "warmup": job.warmup,
+        "vc": job.victim_cache_entries,
+    }
+    # Telemetry knobs join the identity only when set, so untraced jobs
+    # hash exactly as they did before telemetry existed (cache entries
+    # and resumability survive).  ``trace_out`` is an output location,
+    # not an identity: it never affects the key.
+    if job.intervals:
+        fields["intervals"] = job.intervals
+    if job.trace:
+        fields["trace"] = {
+            "sample": job.trace_sample,
+            "categories": sorted(job.trace_categories),
+        }
+    payload = json.dumps(fields, sort_keys=True, default=list)
     return hashlib.sha1(payload.encode()).hexdigest()
 
 
@@ -123,6 +155,16 @@ def execute_job(job: SimJob) -> RunSummary:
     from the environment — the contract that makes worker-pool results
     interchangeable with serial ones.
     """
+    cpu_start = time.process_time()
+    telemetry: Optional[TelemetryConfig] = None
+    if job.trace or job.intervals:
+        telemetry = TelemetryConfig(
+            enabled=job.trace,
+            out_dir=job.trace_out or "traces",
+            sample=job.trace_sample,
+            interval=job.intervals,
+            categories=job.trace_categories,
+        )
     mix = WorkloadMix(job.mix_name, job.apps)
     # Workload generators always size against the scaled 2-core
     # baseline, regardless of the simulated variant (Table I's
@@ -138,8 +180,9 @@ def execute_job(job: SimJob) -> RunSummary:
         warmup=job.warmup,
         victim_cache_entries=job.victim_cache_entries,
     )
-    result = CMPSimulator(config, mix.traces(reference)).run()
-    return RunSummary(
+    simulator = CMPSimulator(config, mix.traces(reference), telemetry=telemetry)
+    result = simulator.run()
+    summary = RunSummary(
         mix=mix.name,
         apps=list(mix.apps),
         mode=job.mode,
@@ -162,3 +205,31 @@ def execute_job(job: SimJob) -> RunSummary:
             for core in result.cores
         ],
     )
+    if result.intervals is not None:
+        summary.intervals = result.intervals.to_dict()
+    if telemetry is not None:
+        digest: Dict = {
+            "cpu_s": time.process_time() - cpu_start,
+            "max_cycles": result.max_cycles,
+            "core_phases": [
+                {
+                    "core": core.core_id,
+                    "warmup_cycles": core.cycles_at_warmup,
+                    "quota_cycles": core.cycles_at_quota or core.cycles,
+                }
+                for core in simulator.cores
+            ],
+        }
+        tracer = simulator.tracer
+        if tracer is not None:
+            digest.update(tracer.summary())
+            if job.trace_out:
+                # Each worker writes its own job-key-named file, so
+                # parallel sweeps never contend on one event log.
+                path = write_events_jsonl(
+                    Path(job.trace_out) / f"events-{job_key(job)}.jsonl",
+                    tracer.events,
+                )
+                digest["events_path"] = str(path)
+        summary.telemetry = digest
+    return summary

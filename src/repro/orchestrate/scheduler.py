@@ -22,10 +22,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from collections import deque
 
 from ..errors import OrchestrationError
+from ..telemetry import get_logger
 from .cache import ResultCache
 from .job import execute_job, job_key
 from .manifest import STATUS_DONE, STATUS_FAILED, SweepManifest
 from .pool import EVENT_OK, WorkerPool
+
+log = get_logger("repro.orchestrate")
 
 #: give up respawning workers after this many deaths per sweep and
 #: fall back to serial execution — a pool that keeps dying (OOM
@@ -48,6 +51,7 @@ class Orchestrator:
         backoff: float = 0.25,
         reporter=None,
         context=None,
+        telemetry=None,
     ) -> None:
         if retries < 0:
             raise OrchestrationError("retries must be >= 0")
@@ -63,11 +67,17 @@ class Orchestrator:
         self.backoff = backoff
         self.reporter = reporter
         self.context = context
+        #: optional :class:`repro.telemetry.RunTelemetry` collecting
+        #: per-job provenance (wall/CPU time, retries, cache hits) for
+        #: the Chrome trace and the enriched run manifest.
+        self.telemetry = telemetry
         #: key -> final error message of permanently failed jobs (last run).
         self.failures: Dict[str, str] = {}
         self._completed = 0
         self._total = 0
         self._workers = 1
+        #: key -> sweep-relative wall time the job first started.
+        self._started: Dict[str, float] = {}
 
     # -- public API ------------------------------------------------------------
     def run(
@@ -89,6 +99,8 @@ class Orchestrator:
                 hit = self.cache.load(key)
                 if hit is not None:
                     results[key] = hit
+                    if self.telemetry is not None:
+                        self.telemetry.note_cached(key, self._label(ordered[key]))
         pending = [(key, job) for key, job in ordered.items() if key not in results]
         self.failures = {}
         self._total = len(ordered)
@@ -139,6 +151,7 @@ class Orchestrator:
         """
         for key, job in pending:
             attempts = 0
+            self._started[key] = self._now()
             while True:
                 attempts += 1
                 try:
@@ -148,6 +161,13 @@ class Orchestrator:
                     if attempts > self.retries:
                         self._fail(key, job, error, attempts)
                         break
+                    log.warning(
+                        "job_retry",
+                        key=key,
+                        label=self._label(job),
+                        attempt=attempts,
+                        error=error,
+                    )
                     if self.backoff:
                         time.sleep(self.backoff * (2 ** (attempts - 1)))
                 else:
@@ -174,6 +194,7 @@ class Orchestrator:
                         break
                     key, job = queue.popleft()
                     if ready_at.get(key, 0.0) <= now:
+                        self._started.setdefault(key, self._now())
                         pool.submit(key, job)
                         inflight.add(key)
                     else:
@@ -192,6 +213,13 @@ class Orchestrator:
                     elif attempts[key] > self.retries:
                         self._fail(key, job, str(payload), attempts[key])
                     else:
+                        log.warning(
+                            "job_retry",
+                            key=key,
+                            label=self._label(job),
+                            attempt=attempts[key],
+                            error=str(payload),
+                        )
                         ready_at[key] = time.perf_counter() + self.backoff * (
                             2 ** (attempts[key] - 1)
                         )
@@ -209,6 +237,12 @@ class Orchestrator:
     @staticmethod
     def _label(job: Any) -> str:
         return job.label() if hasattr(job, "label") else str(job)
+
+    def _now(self) -> float:
+        """Sweep-relative wall time (telemetry origin when available)."""
+        if self.telemetry is not None:
+            return self.telemetry.now()
+        return time.perf_counter()
 
     def _complete(
         self,
@@ -228,10 +262,32 @@ class Orchestrator:
             self.manifest.record(
                 key, STATUS_DONE, attempts=attempts, label=self._label(job)
             )
+        if self.telemetry is not None:
+            end = self.telemetry.now()
+            self.telemetry.note_executed(
+                key,
+                self._label(job),
+                STATUS_DONE,
+                attempts,
+                start=self._started.get(key, end),
+                end=end,
+                telemetry=getattr(result, "telemetry", None),
+            )
+        if self.reporter is not None:
+            note = getattr(self.reporter, "note_result", None)
+            if note is not None:
+                note(result)
         self._report()
 
     def _fail(self, key: str, job: Any, error: str, attempts: int) -> None:
         self.failures[key] = error
+        log.error(
+            "job_failed",
+            key=key,
+            label=self._label(job),
+            attempts=attempts,
+            error=error,
+        )
         if self.manifest is not None:
             self.manifest.record(
                 key,
@@ -239,6 +295,17 @@ class Orchestrator:
                 attempts=attempts,
                 error=error,
                 label=self._label(job),
+            )
+        if self.telemetry is not None:
+            end = self.telemetry.now()
+            self.telemetry.note_executed(
+                key,
+                self._label(job),
+                STATUS_FAILED,
+                attempts,
+                start=self._started.get(key, end),
+                end=end,
+                error=error,
             )
         self._report()
 

@@ -1,0 +1,74 @@
+"""``python -m repro.telemetry`` — validate exported telemetry artefacts.
+
+``validate <dir>`` checks every artefact found in a trace output
+directory against the checked-in schemas: ``events-*.jsonl`` files,
+``trace.json`` and ``run-manifest.json``.  Exits non-zero if any file
+fails, so CI can gate on exporter drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from .log import get_logger
+from .schema import (
+    validate_chrome_trace,
+    validate_events_jsonl,
+    validate_run_manifest,
+)
+
+log = get_logger("repro.telemetry")
+
+
+def validate_dir(out_dir: Path) -> int:
+    """Validate all artefacts under ``out_dir``; returns the error count."""
+    checked = 0
+    failures = 0
+    for path in sorted(out_dir.glob("events-*.jsonl")):
+        checked += 1
+        failures += _report(path, validate_events_jsonl(path))
+    trace = out_dir / "trace.json"
+    if trace.exists():
+        checked += 1
+        failures += _report(trace, validate_chrome_trace(trace))
+    manifest = out_dir / "run-manifest.json"
+    if manifest.exists():
+        checked += 1
+        failures += _report(manifest, validate_run_manifest(manifest))
+    if checked == 0:
+        log.error("no_artifacts", dir=str(out_dir))
+        return 1
+    log.info("validated", dir=str(out_dir), files=checked, failed=failures)
+    return failures
+
+
+def _report(path: Path, errors: List[str]) -> int:
+    if errors:
+        log.error("schema_errors", file=str(path), errors=errors[:20])
+        return 1
+    log.info("schema_ok", file=str(path))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="validate exported telemetry artefacts",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    check = sub.add_parser(
+        "validate", help="schema-check a trace output directory"
+    )
+    check.add_argument("dir", type=Path, help="directory holding artefacts")
+    args = parser.parse_args(argv)
+    if not args.dir.is_dir():
+        log.error("not_a_directory", dir=str(args.dir))
+        return 1
+    return 1 if validate_dir(args.dir) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

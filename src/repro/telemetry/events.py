@@ -1,0 +1,93 @@
+"""The simulation event taxonomy traced by :mod:`repro.telemetry`.
+
+Every event names something the paper's evaluation reasons about in
+*time*: when LLC misses cluster, when inclusion enforcement kills a
+live core-cache line, how often the TLA policies exchange messages.
+Events are deliberately flat strings (not an enum) so the disabled
+tracer path never pays enum-member lookups and event logs stay
+greppable; :data:`CATEGORIES` groups them into the coarse filter
+classes the ``Tracer`` selects on.
+
+The taxonomy (see DESIGN.md "Telemetry" for the full rationale):
+
+=====================  ===========  ================================
+event                  category     emitted when
+=====================  ===========  ================================
+``llc_miss``           ``llc``      a demand access misses the LLC
+``llc_evict``          ``llc``      the LLC evicts a valid line
+``victim_cache_rescue`` ``llc``     a victim-cache hit avoids memory
+``back_invalidate``    ``inclusion`` inclusion removes a core copy
+``inclusion_victim``   ``inclusion`` a back-invalidate hit a live line
+``eci_invalidate``     ``tla``      ECI / modified-QBS early invalidate
+``qbs_query``          ``tla``      QBS probes a core for residency
+``qbs_promote``        ``tla``      QBS spares a resident victim
+``tlh_hint``           ``tla``      TLH sends a locality hint
+``mshr_stall``         ``mshr``     a miss waits for a free MSHR
+=====================  ===========  ================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional, Tuple
+
+EVENT_LLC_MISS = "llc_miss"
+EVENT_LLC_EVICT = "llc_evict"
+EVENT_VCACHE_RESCUE = "victim_cache_rescue"
+EVENT_BACK_INVALIDATE = "back_invalidate"
+EVENT_INCLUSION_VICTIM = "inclusion_victim"
+EVENT_ECI_INVALIDATE = "eci_invalidate"
+EVENT_QBS_QUERY = "qbs_query"
+EVENT_QBS_PROMOTE = "qbs_promote"
+EVENT_TLH_HINT = "tlh_hint"
+EVENT_MSHR_STALL = "mshr_stall"
+
+#: event name -> filter category ("llc" / "inclusion" / "tla" / "mshr").
+CATEGORIES: Dict[str, str] = {
+    EVENT_LLC_MISS: "llc",
+    EVENT_LLC_EVICT: "llc",
+    EVENT_VCACHE_RESCUE: "llc",
+    EVENT_BACK_INVALIDATE: "inclusion",
+    EVENT_INCLUSION_VICTIM: "inclusion",
+    EVENT_ECI_INVALIDATE: "tla",
+    EVENT_QBS_QUERY: "tla",
+    EVENT_QBS_PROMOTE: "tla",
+    EVENT_TLH_HINT: "tla",
+    EVENT_MSHR_STALL: "mshr",
+}
+
+ALL_EVENTS: Tuple[str, ...] = tuple(CATEGORIES)
+ALL_CATEGORIES: Tuple[str, ...] = ("llc", "inclusion", "tla", "mshr")
+
+#: the message classes the paper's "<2 back-invalidate-class messages
+#: per 1000 cycles" claim (Section V.B) sums over.
+BACK_INVALIDATE_CLASS: Tuple[str, ...] = (
+    EVENT_BACK_INVALIDATE,
+    EVENT_ECI_INVALIDATE,
+)
+
+
+class TraceEvent(NamedTuple):
+    """One recorded simulation event.
+
+    ``cycle`` is simulated time (the issuing core's cycle count when
+    the event fired), never host time.  ``core`` is -1 for events not
+    attributable to one core (e.g. MSHR stalls of the shared file);
+    ``line`` is the line address (-1 when not applicable).
+    """
+
+    cycle: float
+    event: str
+    core: int
+    line: int
+    extra: Optional[dict] = None
+
+    def to_json_dict(self) -> dict:
+        record = {
+            "cycle": self.cycle,
+            "event": self.event,
+            "core": self.core,
+            "line": self.line,
+        }
+        if self.extra:
+            record["extra"] = self.extra
+        return record

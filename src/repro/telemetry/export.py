@@ -1,0 +1,257 @@
+"""Exporters: JSONL event logs, Chrome traces, enriched run manifests.
+
+Three artefacts, all schema-pinned by :mod:`repro.telemetry.schema`:
+
+* ``events-<key>.jsonl`` — one :class:`~repro.telemetry.events.
+  TraceEvent` per line, written by whichever process executed the job
+  (worker processes write their own files; names are job-key-unique so
+  there is never a concurrent writer).
+* ``trace.json`` — a Chrome-trace file loadable in ``chrome://tracing``
+  or https://ui.perfetto.dev.  Process 0 shows the sweep in *wall
+  time*: one complete-event span per executed job, laid out in
+  non-overlapping lanes.  Each traced job additionally appears as its
+  own process in *simulated time* (1 cycle rendered as 1 µs) with one
+  thread per core carrying its ``warmup`` / ``measure`` phase spans.
+* ``run-manifest.json`` — the run-wide structured record: per job its
+  key, label, terminal status, attempt count, wall/CPU seconds and
+  cache-hit provenance.
+
+Wall times are ``time.perf_counter`` offsets from the sweep start —
+pure elapsed time, never the host clock (lint rule CS3).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from .config import TelemetryConfig
+from .events import TraceEvent
+
+#: ``run-manifest.json`` schema version (see RUN_MANIFEST_SCHEMA).
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Chrome-trace pid of the wall-time sweep lane group.
+SWEEP_PID = 0
+#: first pid used for per-job simulated-time processes.
+JOB_PID_BASE = 1000
+
+
+def write_events_jsonl(
+    path: Union[str, Path], events: Iterable[TraceEvent]
+) -> Path:
+    """Write one JSON object per event; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_json_dict(), sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def _assign_lanes(spans: List[dict]) -> None:
+    """Greedy non-overlap lane assignment (sets ``span['lane']``)."""
+    lane_ends: List[float] = []
+    for span in sorted(spans, key=lambda item: item["start"]):
+        for lane, end in enumerate(lane_ends):
+            if span["start"] >= end:
+                span["lane"] = lane
+                lane_ends[lane] = span["end"]
+                break
+        else:
+            span["lane"] = len(lane_ends)
+            lane_ends.append(span["end"])
+
+
+def build_chrome_trace(jobs: List[dict]) -> Dict:
+    """Build the Chrome-trace dict from :class:`RunTelemetry` job rows."""
+    trace_events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": SWEEP_PID,
+            "tid": 0,
+            "args": {"name": "sweep (wall time)"},
+        }
+    ]
+    executed = [job for job in jobs if not job["cached"] and job.get("end")]
+    _assign_lanes(executed)
+    for job in executed:
+        trace_events.append(
+            {
+                "name": job["label"],
+                "cat": "job",
+                "ph": "X",
+                "ts": job["start"] * 1e6,
+                "dur": max(0.0, job["end"] - job["start"]) * 1e6,
+                "pid": SWEEP_PID,
+                "tid": job["lane"],
+                "args": {
+                    "key": job["key"],
+                    "status": job["status"],
+                    "attempts": job["attempts"],
+                },
+            }
+        )
+    pid = JOB_PID_BASE
+    for job in executed:
+        phases = (job.get("telemetry") or {}).get("core_phases") or []
+        if not phases:
+            continue
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{job['label']} (simulated cycles)"},
+            }
+        )
+        for core in phases:
+            tid = int(core.get("core", 0))
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"core {tid}"},
+                }
+            )
+            warmup_end = float(core.get("warmup_cycles", 0.0))
+            quota_end = float(core.get("quota_cycles", warmup_end))
+            if warmup_end > 0:
+                trace_events.append(
+                    {
+                        "name": "warmup",
+                        "cat": "phase",
+                        "ph": "X",
+                        "ts": 0.0,
+                        "dur": warmup_end,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {},
+                    }
+                )
+            trace_events.append(
+                {
+                    "name": "measure",
+                    "cat": "phase",
+                    "ph": "X",
+                    "ts": warmup_end,
+                    "dur": max(0.0, quota_end - warmup_end),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {},
+                }
+            )
+        pid += 1
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.telemetry",
+            "note": "pid 0 is wall time; job processes are simulated "
+            "cycles rendered as microseconds",
+        },
+    }
+
+
+class RunTelemetry:
+    """Run-wide telemetry for one sweep: job provenance, spans, exports.
+
+    The orchestrator (and the serial :class:`repro.experiments.Runner`
+    path) report every job outcome here; :meth:`write` then produces
+    the Chrome trace and the enriched run manifest in one place, so
+    parallel and serial sweeps export identically-shaped artefacts.
+    """
+
+    def __init__(self, config: TelemetryConfig) -> None:
+        self.config = config
+        self.out_dir = Path(config.out_dir)
+        self.jobs: List[dict] = []
+        self._origin = time.perf_counter()
+
+    def now(self) -> float:
+        """Seconds since this sweep's telemetry started (wall span)."""
+        return time.perf_counter() - self._origin
+
+    # -- provenance hooks (orchestrator / runner) ---------------------------
+    def note_cached(self, key: str, label: str) -> None:
+        self.jobs.append(
+            {
+                "key": key,
+                "label": label,
+                "status": "cached",
+                "cached": True,
+                "attempts": 0,
+            }
+        )
+
+    def note_executed(
+        self,
+        key: str,
+        label: str,
+        status: str,
+        attempts: int,
+        start: float,
+        end: float,
+        telemetry: Optional[Dict] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        row = {
+            "key": key,
+            "label": label,
+            "status": status,
+            "cached": False,
+            "attempts": attempts,
+            "start": start,
+            "end": end,
+            "wall_s": max(0.0, end - start),
+        }
+        if telemetry:
+            row["telemetry"] = telemetry
+            if "cpu_s" in telemetry:
+                row["cpu_s"] = float(telemetry["cpu_s"])
+            if "recorded" in telemetry:
+                row["events"] = int(telemetry["recorded"])
+        if error is not None:
+            row["error"] = error
+        self.jobs.append(row)
+
+    # -- artefact writers ----------------------------------------------------
+    def manifest_dict(self, settings: Optional[Dict] = None) -> Dict:
+        jobs = []
+        for job in self.jobs:
+            row = {
+                "key": job["key"],
+                "label": job["label"],
+                "status": job["status"],
+                "cached": job["cached"],
+                "attempts": job["attempts"],
+            }
+            for key in ("wall_s", "cpu_s", "events", "error"):
+                if key in job:
+                    row[key] = job[key]
+            jobs.append(row)
+        manifest = {"schema": MANIFEST_SCHEMA_VERSION, "jobs": jobs}
+        if settings is not None:
+            manifest["settings"] = settings
+        return manifest
+
+    def write(self, settings: Optional[Dict] = None) -> Dict[str, Path]:
+        """Write ``trace.json`` + ``run-manifest.json``; returns the paths."""
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        trace_path = self.out_dir / "trace.json"
+        trace_path.write_text(
+            json.dumps(build_chrome_trace(self.jobs)), encoding="utf-8"
+        )
+        manifest_path = self.out_dir / "run-manifest.json"
+        manifest_path.write_text(
+            json.dumps(self.manifest_dict(settings), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+        return {"trace": trace_path, "manifest": manifest_path}

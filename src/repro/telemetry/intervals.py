@@ -1,0 +1,195 @@
+"""Fixed-cycle-window time series of traffic and inclusion activity.
+
+The paper's traffic argument is a *rate* claim — ECI/QBS add fewer
+than 2 back-invalidate-class messages per 1000 cycles (Section V.B) —
+and its performance argument is *temporal* — inclusion victims are hot
+lines killed while still live.  End-of-run totals can only
+approximate the first and cannot show the second.  The
+:class:`IntervalCollector` closes that gap: it snapshots the
+hierarchy's counters every ``window`` simulated cycles and stores the
+per-window deltas, yielding exact time series whose sums equal the
+run's aggregate counters (so window-based rates and total-based rates
+are the same numbers, just resolved in time).
+
+The collector is driven by the simulator's step hook (it never polls
+host time) and costs nothing when no telemetry is configured — the
+hook is only installed for telemetry-enabled runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from .events import BACK_INVALIDATE_CLASS
+
+#: non-traffic counter keys tracked alongside the message types.
+KEY_INCLUSION_VICTIMS = "inclusion_victims"
+KEY_LLC_MISSES = "llc_misses"
+
+
+@dataclass
+class IntervalSeries:
+    """Per-window counter deltas for one finished simulation.
+
+    ``spans[i]`` is the cycle length of window ``i`` (every window is
+    ``window`` cycles except a partial final one); ``counts[key][i]``
+    is how many of ``key`` happened inside it.  Window sums equal the
+    run's aggregate counters by construction, so
+    :meth:`mean_rate_per_kcycle` reproduces total-based rate metrics
+    exactly while the per-window series resolves *when* the messages
+    clustered.
+    """
+
+    window: int
+    spans: List[float] = field(default_factory=list)
+    counts: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def num_windows(self) -> int:
+        return len(self.spans)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.spans)
+
+    def series(self, key: str) -> List[int]:
+        """Raw per-window counts for one counter key."""
+        return self.counts.get(key, [0] * self.num_windows)
+
+    def total(self, key: str) -> int:
+        return sum(self.series(key))
+
+    def rate_per_kcycle(self, key: str) -> List[float]:
+        """Per-window rate: counts per 1000 cycles, one value per window."""
+        return [
+            1000.0 * count / span if span > 0 else 0.0
+            for count, span in zip(self.series(key), self.spans)
+        ]
+
+    def mean_rate_per_kcycle(self, key: str) -> float:
+        """Run-wide rate from the windows (== the total-based rate)."""
+        cycles = self.total_cycles
+        if cycles <= 0:
+            return 0.0
+        return 1000.0 * self.total(key) / cycles
+
+    # -- the paper's Section V.B metric ------------------------------------
+    def back_invalidate_class_series(self) -> List[int]:
+        """Per-window back-invalidate-class messages (BI + ECI)."""
+        merged = [0] * self.num_windows
+        for key in BACK_INVALIDATE_CLASS:
+            for index, count in enumerate(self.series(key)):
+                merged[index] += count
+        return merged
+
+    def back_invalidate_class_per_kcycle(self) -> List[float]:
+        """Per-window back-invalidate-class messages per 1000 cycles."""
+        return [
+            1000.0 * count / span if span > 0 else 0.0
+            for count, span in zip(self.back_invalidate_class_series(), self.spans)
+        ]
+
+    def mean_back_invalidate_class_per_kcycle(self) -> float:
+        cycles = self.total_cycles
+        if cycles <= 0:
+            return 0.0
+        return 1000.0 * sum(self.back_invalidate_class_series()) / cycles
+
+    # -- (de)serialisation for RunSummary / the disk cache ------------------
+    def to_dict(self) -> Dict:
+        return {
+            "window": self.window,
+            "spans": list(self.spans),
+            "counts": {key: list(values) for key, values in self.counts.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "IntervalSeries":
+        return cls(
+            window=int(data["window"]),
+            spans=[float(span) for span in data.get("spans", [])],
+            counts={
+                key: [int(v) for v in values]
+                for key, values in data.get("counts", {}).items()
+            },
+        )
+
+
+class IntervalCollector:
+    """Folds a hierarchy's counters into fixed-window deltas.
+
+    Driven by :meth:`tick` with the issuing core's cycle count on every
+    simulation step.  Crossing a window boundary snapshots the
+    hierarchy's cumulative counters and attributes the delta to the
+    window that just closed.  The global clock is only approximately
+    monotone (cores interleave in small bursts), so a slightly stale
+    tick simply lands its activity in the currently open window —
+    window sums stay exact regardless.
+    """
+
+    def __init__(self, hierarchy, window: int) -> None:
+        if window <= 0:
+            raise ConfigurationError("interval window must be positive")
+        self.hierarchy = hierarchy
+        self.window = window
+        self._window_end = float(window)
+        self._spans: List[float] = []
+        self._last_snapshot = self._snapshot()
+        self._counts: Dict[str, List[int]] = {
+            key: [] for key in self._last_snapshot
+        }
+
+    def _snapshot(self) -> Dict[str, int]:
+        hierarchy = self.hierarchy
+        snap = hierarchy.traffic.snapshot()
+        snap[KEY_INCLUSION_VICTIMS] = hierarchy.total_inclusion_victims
+        snap[KEY_LLC_MISSES] = hierarchy.llc.stats.misses
+        return snap
+
+    def tick(self, cycle: float) -> None:
+        """Advance to ``cycle``, closing any windows it passed."""
+        while cycle >= self._window_end:
+            self._close(self._window_end)
+
+    def _close(self, boundary: float) -> None:
+        snap = self._snapshot()
+        last = self._last_snapshot
+        for key, value in snap.items():
+            self._counts[key].append(value - last[key])
+        self._last_snapshot = snap
+        self._spans.append(float(self.window))
+        self._window_end = boundary + self.window
+
+    def finalize(self, final_cycle: float) -> IntervalSeries:
+        """Close the trailing partial window and return the series.
+
+        ``final_cycle`` is the run's end-of-measurement clock (the
+        slowest core's quota cycle); the final window spans whatever
+        remains of it, so ``IntervalSeries.total_cycles`` equals the
+        cycle count aggregate rates are computed over.
+        """
+        self.tick(final_cycle)
+        start = self._window_end - self.window
+        if final_cycle > start or not self._spans:
+            snap = self._snapshot()
+            last = self._last_snapshot
+            for key, value in snap.items():
+                self._counts[key].append(value - last[key])
+            self._last_snapshot = snap
+            self._spans.append(max(0.0, final_cycle - start))
+        else:
+            # Nothing past the last closed boundary: fold any counter
+            # residue into the final closed window so sums stay exact.
+            snap = self._snapshot()
+            last = self._last_snapshot
+            for key, value in snap.items():
+                if value != last[key]:
+                    self._counts[key][-1] += value - last[key]
+            self._last_snapshot = snap
+        return IntervalSeries(
+            window=self.window,
+            spans=self._spans,
+            counts=self._counts,
+        )

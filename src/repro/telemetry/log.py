@@ -1,0 +1,73 @@
+"""Structured diagnostics logging for CLIs and the orchestrator.
+
+One JSON object per line on stderr, so diagnostics are machine-parsable
+(and trivially filterable with ``jq``) while experiment *output* stays
+on stdout.  No timestamps: host wall-clock reads are banned repo-wide
+(lint rule CS3) and diagnostic lines must not make otherwise
+deterministic runs diff differently.
+
+The minimum emitted level comes from ``REPRO_LOG_LEVEL``
+(``debug`` / ``info`` / ``warning`` / ``error``; default ``info``);
+unknown values fall back to the default rather than crashing a CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, Optional, TextIO
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+DEFAULT_LEVEL = "info"
+
+
+def level_from_env() -> int:
+    """Resolve ``REPRO_LOG_LEVEL`` to a numeric threshold."""
+    name = os.environ.get("REPRO_LOG_LEVEL", DEFAULT_LEVEL).strip().lower()
+    return LEVELS.get(name, LEVELS[DEFAULT_LEVEL])
+
+
+class StructuredLogger:
+    """Writes one sorted-key JSON object per diagnostic line."""
+
+    def __init__(
+        self,
+        name: str,
+        stream: Optional[TextIO] = None,
+        level: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.stream = stream if stream is not None else sys.stderr
+        self.level = level if level is not None else level_from_env()
+
+    def log(self, level: str, event: str, **fields) -> None:
+        if LEVELS[level] < self.level:
+            return
+        record = {"level": level, "logger": self.name, "event": event}
+        record.update(fields)
+        self.stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self.stream.flush()
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+_LOGGERS: Dict[str, StructuredLogger] = {}
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Shared per-name logger (level resolved at first use)."""
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = _LOGGERS[name] = StructuredLogger(name)
+    return logger

@@ -1,0 +1,165 @@
+"""Checked-in schemas for every telemetry artefact, plus a validator.
+
+The schemas pin the on-disk contract of the exporters: JSONL event
+logs, the Chrome-trace file (the subset of the Trace Event Format we
+emit — ``ph: "X"`` complete events and ``ph: "M"`` metadata records),
+and the enriched run manifest.  CI validates a traced smoke run
+against them so exporter drift cannot ship silently.
+
+The validator implements the small JSON-Schema subset the schemas use
+(``type``, ``required``, ``properties``, ``items``, ``enum``,
+``minimum``) rather than depending on the ``jsonschema`` package —
+the toolchain constraint is that the repo runs on a bare
+pytest+numpy image.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .events import ALL_EVENTS
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+#: one line of an ``events-*.jsonl`` file.
+EVENT_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["cycle", "event", "core", "line"],
+    "properties": {
+        "cycle": {"type": "number", "minimum": 0},
+        "event": {"type": "string", "enum": list(ALL_EVENTS)},
+        "core": {"type": "integer", "minimum": -1},
+        "line": {"type": "integer", "minimum": -1},
+        "extra": {"type": "object"},
+    },
+}
+
+#: the Chrome-trace (``chrome://tracing`` / Perfetto) export.
+CHROME_TRACE_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["traceEvents", "displayTimeUnit"],
+    "properties": {
+        "displayTimeUnit": {"type": "string", "enum": ["ms", "ns"]},
+        "otherData": {"type": "object"},
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "cat": {"type": "string"},
+                    "ph": {"type": "string", "enum": ["X", "M"]},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "pid": {"type": "integer", "minimum": 0},
+                    "tid": {"type": "integer", "minimum": 0},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+#: the enriched per-sweep run manifest.
+RUN_MANIFEST_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["schema", "jobs"],
+    "properties": {
+        "schema": {"type": "integer", "minimum": 1},
+        "settings": {"type": "object"},
+        "jobs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["key", "label", "status", "cached"],
+                "properties": {
+                    "key": {"type": "string"},
+                    "label": {"type": "string"},
+                    "status": {"type": "string", "enum": ["done", "failed", "cached"]},
+                    "cached": {"type": "boolean"},
+                    "attempts": {"type": "integer", "minimum": 0},
+                    "wall_s": {"type": "number", "minimum": 0},
+                    "cpu_s": {"type": "number", "minimum": 0},
+                    "error": {"type": "string"},
+                    "events": {"type": "integer", "minimum": 0},
+                },
+            },
+        },
+    },
+}
+
+
+def check(value, schema: Dict, path: str = "$") -> List[str]:
+    """Validate ``value`` against a schema; returns error strings."""
+    errors: List[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        if isinstance(value, bool) and expected in ("integer", "number"):
+            errors.append(f"{path}: expected {expected}, got boolean")
+            return errors
+        if not isinstance(value, python_type):
+            errors.append(
+                f"{path}: expected {expected}, got {type(value).__name__}"
+            )
+            return errors
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for required in schema.get("required", ()):
+            if required not in value:
+                errors.append(f"{path}: missing required key {required!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in value:
+                errors.extend(check(value[key], subschema, f"{path}.{key}"))
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            errors.extend(check(item, schema["items"], f"{path}[{index}]"))
+    return errors
+
+
+def validate_events_jsonl(path: Union[str, Path]) -> List[str]:
+    """Validate every line of a JSONL event log."""
+    errors: List[str] = []
+    for number, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"line {number}: invalid JSON ({exc})")
+            continue
+        errors.extend(check(record, EVENT_SCHEMA, f"line {number}"))
+    return errors
+
+
+def validate_chrome_trace(path: Union[str, Path]) -> List[str]:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except ValueError as exc:
+        return [f"invalid JSON: {exc}"]
+    return check(data, CHROME_TRACE_SCHEMA)
+
+
+def validate_run_manifest(path: Union[str, Path]) -> List[str]:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except ValueError as exc:
+        return [f"invalid JSON: {exc}"]
+    return check(data, RUN_MANIFEST_SCHEMA)

@@ -10,6 +10,11 @@ Usage::
 the portable text format of :mod:`repro.workloads.trace`, so traces
 can be archived, diffed, or replayed by external tools; ``inspect``
 prints summary statistics of any trace file.
+
+Tabular output (the ``list``/``inspect`` reports) goes to stdout;
+diagnostics go through the structured telemetry logger — one JSON
+object per stderr line, level-gated by ``REPRO_LOG_LEVEL`` — so
+scripted callers can parse outcomes without scraping prose.
 """
 
 from __future__ import annotations
@@ -21,8 +26,11 @@ from typing import List, Optional
 
 from ..access import AccessType
 from ..config import baseline_hierarchy
+from ..telemetry import get_logger
 from .spec import SPEC_APPS, app_names, app_profile, app_trace
 from .trace import instruction_count, load_trace, save_trace, take
+
+log = get_logger("repro.workloads")
 
 
 def _cmd_list() -> int:
@@ -35,16 +43,19 @@ def _cmd_list() -> int:
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.app not in SPEC_APPS:
-        print(f"unknown app {args.app!r}; try 'list'", file=sys.stderr)
+        log.error("unknown_app", app=args.app, hint="try 'list'")
         return 1
     reference = baseline_hierarchy(2, scale=args.scale)
     trace = app_trace(args.app, reference=reference, core_id=args.core)
     records = take(trace, args.records)
     count = save_trace(records, args.out)
     instructions = instruction_count(records)
-    print(
-        f"wrote {count} records ({instructions} instructions) for "
-        f"{args.app} to {args.out}"
+    log.info(
+        "trace_written",
+        app=args.app,
+        out=args.out,
+        records=count,
+        instructions=instructions,
     )
     return 0
 
@@ -52,7 +63,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     records = load_trace(args.trace)
     if not records:
-        print("empty trace")
+        log.error("empty_trace", trace=args.trace)
         return 1
     instructions = instruction_count(records)
     kinds = Counter(record.kind for record in records)

@@ -1,0 +1,105 @@
+"""traffic_study on interval series: exactness against aggregates.
+
+The driver computes every per-1000-cycle rate from the telemetry
+interval series.  These tests pin the refactor's contract: the
+window-based numbers must equal the ones recomputed by hand from each
+run's aggregate message counters — same simulations, two independent
+computations — and the peak metrics must bound the means.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentSettings, Runner
+from repro.experiments.figures import traffic_study
+from repro.workloads import mix_by_name
+
+INTERVAL = 5_000
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    return Runner(
+        ExperimentSettings(
+            scale=0.0625,
+            quota=40_000,
+            warmup=10_000,
+            sample=3,
+            cache_dir=str(tmp_path_factory.mktemp("cache")),
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def result(runner):
+    return traffic_study(
+        runner=runner, mixes=[mix_by_name("MIX_10")], interval=INTERVAL
+    )
+
+
+class TestStructure:
+    def test_totals_cover_every_variant(self, result):
+        assert set(result["totals"]) == {
+            "base", "tlh-l1", "tlh-l2", "eci", "qbs",
+        }
+        assert result["interval"] == INTERVAL
+
+    def test_baseline_generates_inclusion_traffic(self, result):
+        # The pinned 40k-quota MIX_10 run has back-invalidates (the
+        # golden regression counts 42 inclusion victims), so the rate
+        # metrics below are exercised on non-zero series.
+        assert result["totals"]["base"]["back_invalidates"] > 0
+
+    def test_tlh_blows_up_request_traffic(self, result):
+        assert result["derived"]["tlh_l1_request_blowup"] > (
+            result["derived"]["tlh_l2_request_blowup"]
+        )
+        assert result["derived"]["tlh_l2_request_blowup"] > 1.0
+
+
+class TestIntervalExactness:
+    """Window-derived numbers == aggregate-derived numbers, per run."""
+
+    def test_totals_match_aggregate_traffic_counters(self, result, runner):
+        mix = mix_by_name("MIX_10")
+        for label, tla in (
+            ("base", "none"), ("eci", "eci"), ("qbs", "qbs"),
+        ):
+            summary = runner.run(mix, "inclusive", tla, intervals=INTERVAL)
+            bucket = result["totals"][label]
+            assert bucket["llc_requests"] == summary.traffic["llc_request"]
+            assert bucket["back_invalidates"] == (
+                summary.traffic["back_invalidate"]
+            )
+            assert bucket["eci_invalidates"] == (
+                summary.traffic["eci_invalidate"]
+            )
+            assert bucket["qbs_queries"] == summary.traffic["qbs_query"]
+            assert bucket["cycles"] == summary.max_cycles
+
+    def test_rates_match_hand_computation_from_aggregates(self, result):
+        base = result["totals"]["base"]
+        eci = result["totals"]["eci"]
+        assert result["derived"]["base_invalidates_per_kcycle"] == (
+            pytest.approx(
+                1000.0 * base["back_invalidates"] / base["cycles"], rel=1e-12
+            )
+        )
+        assert result["derived"]["eci_invalidates_per_kcycle"] == (
+            pytest.approx(
+                1000.0
+                * (eci["back_invalidates"] + eci["eci_invalidates"])
+                / eci["cycles"],
+                rel=1e-12,
+            )
+        )
+
+    def test_peaks_bound_the_means(self, result):
+        for label in ("base", "eci", "qbs"):
+            peak = result["derived"][f"{label}_peak_invalidates_per_kcycle"]
+            mean = result["derived"].get(
+                f"{label}_invalidates_per_kcycle",
+                result["derived"]["base_invalidates_per_kcycle"],
+            )
+            assert peak >= 0.0
+            if label in ("base", "eci"):
+                assert peak >= mean - 1e-12

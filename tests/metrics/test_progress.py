@@ -57,6 +57,67 @@ class TestRender:
     def test_eta_none_when_done(self):
         assert self.make().eta(completed=10) is None
 
+    def test_eta_needs_min_samples(self):
+        """One simulated job is not a rate; the ETA waits for two."""
+        reporter = self.make(total=10)
+        assert reporter.eta(completed=1) is None
+        assert reporter.eta(completed=2) is not None
+
+    def test_eta_stable_on_cached_majority_sweep(self):
+        """Cache-heavy sweeps used to show a wildly jittering ETA.
+
+        With 97 of 100 jobs served from the cache, the old reporter
+        extrapolated the whole remaining sweep from the very first
+        simulated job — the estimate swung by orders of magnitude
+        between renders.  A scripted clock shows that the ETA (a) stays
+        hidden until ``MIN_ETA_SAMPLES`` real simulations finish and
+        (b) reflects the measured per-job time afterwards.
+        """
+        now = [0.0]
+        reporter = ProgressReporter(
+            stream=io.StringIO(), enabled=True, clock=lambda: now[0]
+        )
+        reporter.start(total=100, cached=97)
+        # Cache hits land instantly: still no rate to extrapolate from.
+        assert reporter.eta(completed=97) is None
+        now[0] = 8.0  # first simulated job took ~8s: not enough samples
+        assert reporter.eta(completed=98) is None
+        now[0] = 10.0  # second finishes at t=10 -> 5s/job measured
+        eta = reporter.eta(completed=99)
+        assert eta is not None
+        assert eta == 5.0  # 1 job left at 2 jobs / 10s
+
+
+class TestNoteResult:
+    class _Summary:
+        def __init__(self, telemetry):
+            self.telemetry = telemetry
+
+    def make(self):
+        reporter = ProgressReporter(stream=io.StringIO(), enabled=True)
+        reporter.start(4)
+        return reporter
+
+    def test_back_invalidate_class_rate_rendered(self):
+        reporter = self.make()
+        reporter.note_result(
+            self._Summary(
+                {
+                    "counts": {"back_invalidate": 30, "eci_invalidate": 10},
+                    "max_cycles": 20_000,
+                }
+            )
+        )
+        line = reporter.render(completed=1, failed=0, running=0, workers=1)
+        assert "binv/kc=2.00" in line  # 40 events / 20 kcycles
+
+    def test_summaries_without_telemetry_ignored(self):
+        reporter = self.make()
+        reporter.note_result(self._Summary(None))
+        reporter.note_result(object())  # no .telemetry attribute at all
+        line = reporter.render(completed=1, failed=0, running=0, workers=1)
+        assert "binv" not in line
+
 
 class TestEmission:
     def test_disabled_reporter_writes_nothing(self):

@@ -1,0 +1,77 @@
+"""TelemetryConfig: defaults, validation, environment parsing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import DEFAULT_INTERVAL, TelemetryConfig
+
+
+class TestDefaults:
+    def test_default_config_is_inert(self):
+        config = TelemetryConfig()
+        assert config.enabled is False
+        assert config.active is False
+        assert config.effective_interval == 0
+
+    def test_enabled_activates_and_defaults_the_interval(self):
+        config = TelemetryConfig(enabled=True)
+        assert config.active is True
+        assert config.effective_interval == DEFAULT_INTERVAL
+
+    def test_interval_alone_activates_without_tracing(self):
+        config = TelemetryConfig(interval=2_000)
+        assert config.active is True
+        assert config.enabled is False
+        assert config.effective_interval == 2_000
+
+    def test_explicit_interval_wins_over_default(self):
+        config = TelemetryConfig(enabled=True, interval=1_234)
+        assert config.effective_interval == 1_234
+
+
+class TestValidation:
+    def test_zero_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryConfig(sample=0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryConfig(interval=-1)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown trace categories"):
+            TelemetryConfig(categories=("llc", "bogus"))
+
+    def test_known_categories_accepted(self):
+        config = TelemetryConfig(categories=("llc", "tla"))
+        assert config.categories == ("llc", "tla")
+
+
+class TestFromEnv:
+    def test_defaults_without_env(self, monkeypatch):
+        for var in (
+            "REPRO_TRACE",
+            "REPRO_TRACE_OUT",
+            "REPRO_TRACE_SAMPLE",
+            "REPRO_TRACE_INTERVAL",
+            "REPRO_TRACE_CATEGORIES",
+        ):
+            monkeypatch.delenv(var, raising=False)
+        assert TelemetryConfig.from_env() == TelemetryConfig()
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_TRACE_OUT", "out/traces")
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "8")
+        monkeypatch.setenv("REPRO_TRACE_INTERVAL", "2500")
+        monkeypatch.setenv("REPRO_TRACE_CATEGORIES", "inclusion,tla")
+        config = TelemetryConfig.from_env()
+        assert config.enabled is True
+        assert config.out_dir == "out/traces"
+        assert config.sample == 8
+        assert config.interval == 2500
+        assert config.categories == ("inclusion", "tla")
+
+    def test_trace_zero_means_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert TelemetryConfig.from_env().enabled is False

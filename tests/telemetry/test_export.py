@@ -1,0 +1,160 @@
+"""Exporters: JSONL event logs, Chrome traces, run manifests."""
+
+import json
+
+from repro.telemetry import (
+    RunTelemetry,
+    TelemetryConfig,
+    TraceEvent,
+    build_chrome_trace,
+    write_events_jsonl,
+)
+from repro.telemetry.__main__ import validate_dir
+from repro.telemetry.export import JOB_PID_BASE, SWEEP_PID, _assign_lanes
+from repro.telemetry.schema import (
+    check,
+    CHROME_TRACE_SCHEMA,
+    validate_chrome_trace,
+    validate_events_jsonl,
+    validate_run_manifest,
+)
+
+
+class TestEventsJsonl:
+    def test_round_trip_and_schema(self, tmp_path):
+        events = [
+            TraceEvent(10.0, "llc_miss", 0, 0x40),
+            TraceEvent(12.5, "back_invalidate", 1, 0x80, {"dirty": True}),
+        ]
+        path = write_events_jsonl(tmp_path / "events-k.jsonl", events)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["extra"] == {"dirty": True}
+        assert validate_events_jsonl(path) == []
+
+    def test_validation_catches_bad_lines(self, tmp_path):
+        path = tmp_path / "events-bad.jsonl"
+        path.write_text('{"cycle": 1.0}\nnot json\n')
+        errors = validate_events_jsonl(path)
+        assert any("missing required key" in error for error in errors)
+        assert any("invalid JSON" in error for error in errors)
+
+
+class TestLaneAssignment:
+    def test_overlapping_spans_get_distinct_lanes(self):
+        spans = [
+            {"start": 0.0, "end": 2.0},
+            {"start": 1.0, "end": 3.0},  # overlaps the first
+            {"start": 2.5, "end": 4.0},  # fits after the first
+        ]
+        _assign_lanes(spans)
+        assert spans[0]["lane"] == 0
+        assert spans[1]["lane"] == 1
+        assert spans[2]["lane"] == 0
+
+
+def _telemetry_with_jobs():
+    telemetry = RunTelemetry(TelemetryConfig(enabled=True))
+    telemetry.note_cached("cachedkey", "MIX_01/inclusive/none")
+    telemetry.note_executed(
+        "execkey",
+        "MIX_10/inclusive/qbs",
+        "done",
+        attempts=1,
+        start=0.0,
+        end=1.5,
+        telemetry={
+            "cpu_s": 1.2,
+            "recorded": 42,
+            "counts": {"qbs_query": 42},
+            "max_cycles": 20_000.0,
+            "core_phases": [
+                {"core": 0, "warmup_cycles": 5_000.0, "quota_cycles": 18_000.0},
+                {"core": 1, "warmup_cycles": 4_000.0, "quota_cycles": 20_000.0},
+            ],
+        },
+    )
+    telemetry.note_executed(
+        "failkey",
+        "MIX_11/inclusive/eci",
+        "failed",
+        attempts=3,
+        start=0.5,
+        end=2.0,
+        error="boom",
+    )
+    return telemetry
+
+
+class TestChromeTrace:
+    def test_sweep_lane_and_simulated_processes(self):
+        trace = build_chrome_trace(_telemetry_with_jobs().jobs)
+        events = trace["traceEvents"]
+        sweep_spans = [
+            event
+            for event in events
+            if event["pid"] == SWEEP_PID and event["ph"] == "X"
+        ]
+        # Cached jobs never appear as spans; both executed jobs do.
+        assert {span["name"] for span in sweep_spans} == {
+            "MIX_10/inclusive/qbs",
+            "MIX_11/inclusive/eci",
+        }
+        qbs = next(s for s in sweep_spans if "qbs" in s["name"])
+        assert qbs["ts"] == 0.0
+        assert qbs["dur"] == 1.5e6  # seconds rendered as microseconds
+
+    def test_traced_job_gets_per_core_phase_spans(self):
+        trace = build_chrome_trace(_telemetry_with_jobs().jobs)
+        job_events = [
+            event
+            for event in trace["traceEvents"]
+            if event["pid"] == JOB_PID_BASE
+        ]
+        phases = [event for event in job_events if event["ph"] == "X"]
+        # Two cores x (warmup + measure).
+        assert len(phases) == 4
+        core1_measure = next(
+            p for p in phases if p["tid"] == 1 and p["name"] == "measure"
+        )
+        assert core1_measure["ts"] == 4_000.0
+        assert core1_measure["dur"] == 16_000.0
+
+    def test_output_validates_against_pinned_schema(self):
+        trace = build_chrome_trace(_telemetry_with_jobs().jobs)
+        assert check(trace, CHROME_TRACE_SCHEMA) == []
+
+
+class TestWriteAndValidate:
+    def test_write_emits_both_artefacts_and_they_validate(self, tmp_path):
+        telemetry = _telemetry_with_jobs()
+        telemetry.out_dir = tmp_path
+        paths = telemetry.write(settings={"scale": 0.0625, "jobs": 2})
+        assert validate_chrome_trace(paths["trace"]) == []
+        assert validate_run_manifest(paths["manifest"]) == []
+        manifest = json.loads(paths["manifest"].read_text())
+        statuses = {job["key"]: job["status"] for job in manifest["jobs"]}
+        assert statuses == {
+            "cachedkey": "cached",
+            "execkey": "done",
+            "failkey": "failed",
+        }
+        executed = next(j for j in manifest["jobs"] if j["key"] == "execkey")
+        assert executed["cpu_s"] == 1.2
+        assert executed["events"] == 42
+        failed = next(j for j in manifest["jobs"] if j["key"] == "failkey")
+        assert failed["error"] == "boom"
+
+    def test_validate_dir_cli_helper(self, tmp_path):
+        telemetry = _telemetry_with_jobs()
+        telemetry.out_dir = tmp_path
+        telemetry.write()
+        write_events_jsonl(
+            tmp_path / "events-k.jsonl", [TraceEvent(1.0, "llc_miss", 0, 1)]
+        )
+        assert validate_dir(tmp_path) == 0
+
+    def test_validate_dir_flags_empty_and_broken_dirs(self, tmp_path):
+        assert validate_dir(tmp_path) == 1
+        (tmp_path / "trace.json").write_text('{"nope": 1}')
+        assert validate_dir(tmp_path) >= 1

@@ -1,0 +1,162 @@
+"""IntervalCollector/IntervalSeries: hand-computed windows, exact sums.
+
+The collector is driven with a scripted fake hierarchy whose counters
+are bumped by hand between ticks, so every expected window value below
+is computed on paper — the regression pin for the interval model the
+traffic study (``repro.experiments.figures.traffic_study``) consumes.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import IntervalCollector, IntervalSeries
+from repro.telemetry.intervals import KEY_INCLUSION_VICTIMS, KEY_LLC_MISSES
+
+
+class _Stats:
+    def __init__(self):
+        self.misses = 0
+
+
+class _LLC:
+    def __init__(self):
+        self.stats = _Stats()
+
+
+class _Traffic:
+    """Minimal TrafficMeter stand-in: a plain cumulative counter dict."""
+
+    def __init__(self, *keys):
+        self.counts = {key: 0 for key in keys}
+
+    def snapshot(self):
+        return dict(self.counts)
+
+
+class FakeHierarchy:
+    def __init__(self):
+        self.traffic = _Traffic(
+            "llc_request", "back_invalidate", "eci_invalidate"
+        )
+        self.total_inclusion_victims = 0
+        self.llc = _LLC()
+
+
+class TestCollectorHandComputed:
+    """window=100; counters scripted so each window delta is known."""
+
+    def make(self):
+        hierarchy = FakeHierarchy()
+        collector = IntervalCollector(hierarchy, window=100)
+        return hierarchy, collector
+
+    def test_windows_carry_the_deltas_between_their_boundaries(self):
+        hierarchy, collector = self.make()
+        # Window [0, 100): 3 back-invalidates, 10 LLC requests, 1 victim.
+        hierarchy.traffic.counts["back_invalidate"] += 3
+        hierarchy.traffic.counts["llc_request"] += 10
+        hierarchy.total_inclusion_victims += 1
+        collector.tick(150)  # crosses the 100 boundary
+        # Window [100, 200): 2 more back-invalidates.
+        hierarchy.traffic.counts["back_invalidate"] += 2
+        collector.tick(250)  # crosses the 200 boundary
+        # Partial window [200, 250): 5 ECI invalidates.
+        hierarchy.traffic.counts["eci_invalidate"] += 5
+        series = collector.finalize(250)
+
+        assert series.spans == [100.0, 100.0, 50.0]
+        assert series.series("back_invalidate") == [3, 2, 0]
+        assert series.series("llc_request") == [10, 0, 0]
+        assert series.series("eci_invalidate") == [0, 0, 5]
+        assert series.series(KEY_INCLUSION_VICTIMS) == [1, 0, 0]
+
+    def test_window_sums_equal_aggregates_exactly(self):
+        hierarchy, collector = self.make()
+        hierarchy.traffic.counts["back_invalidate"] += 3
+        collector.tick(150)
+        hierarchy.traffic.counts["back_invalidate"] += 2
+        hierarchy.traffic.counts["eci_invalidate"] += 5
+        series = collector.finalize(250)
+        assert series.total("back_invalidate") == 5
+        assert series.total("eci_invalidate") == 5
+        assert series.total_cycles == 250.0
+
+    def test_rates_per_kcycle_hand_computed(self):
+        hierarchy, collector = self.make()
+        hierarchy.traffic.counts["back_invalidate"] += 3
+        collector.tick(150)
+        hierarchy.traffic.counts["back_invalidate"] += 2
+        collector.tick(250)
+        hierarchy.traffic.counts["eci_invalidate"] += 5
+        series = collector.finalize(250)
+        # 3/100, 2/100, 5/50 windows -> 30, 20, 100 per kilocycle.
+        assert series.back_invalidate_class_per_kcycle() == [30.0, 20.0, 100.0]
+        # Run-wide: 10 messages over 250 cycles -> 40 per kilocycle,
+        # identical to the total-based computation (the acceptance
+        # criterion the traffic study relies on).
+        assert series.mean_back_invalidate_class_per_kcycle() == pytest.approx(
+            1000.0 * 10 / 250
+        )
+
+    def test_residue_after_last_boundary_folds_into_final_window(self):
+        hierarchy, collector = self.make()
+        collector.tick(200)  # closes [0,100) and [100,200)
+        # Counter movement observed exactly at the end-of-run boundary:
+        # no cycles remain, so it must fold into the last closed window
+        # for sums to stay exact.
+        hierarchy.llc.stats.misses += 4
+        series = collector.finalize(200)
+        assert series.spans == [100.0, 100.0]
+        assert series.total(KEY_LLC_MISSES) == 4
+        assert series.total_cycles == 200.0
+
+    def test_run_shorter_than_one_window(self):
+        hierarchy, collector = self.make()
+        hierarchy.traffic.counts["llc_request"] += 7
+        series = collector.finalize(40)
+        assert series.spans == [40.0]
+        assert series.series("llc_request") == [7]
+
+    def test_non_positive_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IntervalCollector(FakeHierarchy(), window=0)
+
+
+class TestSeriesMath:
+    def make(self):
+        return IntervalSeries(
+            window=100,
+            spans=[100.0, 100.0, 50.0],
+            counts={
+                "back_invalidate": [3, 2, 0],
+                "eci_invalidate": [0, 0, 5],
+                "llc_request": [10, 0, 0],
+            },
+        )
+
+    def test_missing_key_reads_as_zeros(self):
+        series = self.make()
+        assert series.series("tlh_hint") == [0, 0, 0]
+        assert series.total("tlh_hint") == 0
+
+    def test_rate_per_kcycle(self):
+        assert self.make().rate_per_kcycle("llc_request") == [100.0, 0.0, 0.0]
+
+    def test_mean_rate_matches_total_based_rate(self):
+        series = self.make()
+        assert series.mean_rate_per_kcycle("back_invalidate") == pytest.approx(
+            1000.0 * series.total("back_invalidate") / series.total_cycles
+        )
+
+    def test_back_invalidate_class_merges_bi_and_eci(self):
+        assert self.make().back_invalidate_class_series() == [3, 2, 5]
+
+    def test_empty_series_rates_are_zero(self):
+        empty = IntervalSeries(window=100)
+        assert empty.mean_rate_per_kcycle("llc_request") == 0.0
+        assert empty.mean_back_invalidate_class_per_kcycle() == 0.0
+
+    def test_dict_round_trip(self):
+        series = self.make()
+        clone = IntervalSeries.from_dict(series.to_dict())
+        assert clone == series

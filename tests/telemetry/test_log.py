@@ -1,0 +1,76 @@
+"""StructuredLogger: JSON lines, level gating, env resolution."""
+
+import io
+import json
+
+from repro.telemetry import StructuredLogger, get_logger, level_from_env
+from repro.telemetry.log import LEVELS
+
+
+class TestStructuredLogger:
+    def make(self, level="info"):
+        stream = io.StringIO()
+        return StructuredLogger("test", stream=stream, level=LEVELS[level]), stream
+
+    def test_one_json_object_per_line(self):
+        logger, stream = self.make()
+        logger.info("job_retry", key="abc", attempt=2)
+        logger.error("job_failed", key="def")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "level": "info",
+            "logger": "test",
+            "event": "job_retry",
+            "key": "abc",
+            "attempt": 2,
+        }
+
+    def test_keys_sorted_for_stable_diffs(self):
+        logger, stream = self.make()
+        logger.info("x", zebra=1, alpha=2)
+        line = stream.getvalue().strip()
+        assert line.index('"alpha"') < line.index('"zebra"')
+
+    def test_below_threshold_suppressed(self):
+        logger, stream = self.make(level="warning")
+        logger.debug("noise")
+        logger.info("noise")
+        logger.warning("kept")
+        events = [
+            json.loads(line)["event"]
+            for line in stream.getvalue().splitlines()
+        ]
+        assert events == ["kept"]
+
+    def test_no_timestamp_fields(self):
+        """CS3: diagnostics must not read the host wall clock."""
+        logger, stream = self.make()
+        logger.info("event")
+        record = json.loads(stream.getvalue())
+        assert not {"time", "timestamp", "ts"} & set(record)
+
+    def test_non_json_values_stringified_not_crashing(self):
+        logger, stream = self.make()
+        logger.error("boom", error=ValueError("bad"))
+        assert json.loads(stream.getvalue())["error"] == "bad"
+
+
+class TestLevelFromEnv:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+        assert level_from_env() == LEVELS["info"]
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+        assert level_from_env() == LEVELS["debug"]
+
+    def test_unknown_value_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "loudest")
+        assert level_from_env() == LEVELS["info"]
+
+
+class TestGetLogger:
+    def test_same_name_shares_one_logger(self):
+        assert get_logger("repro.test.shared") is get_logger("repro.test.shared")

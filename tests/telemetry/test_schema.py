@@ -1,0 +1,82 @@
+"""The minimal JSON-schema validator and the checked-in schemas."""
+
+from repro.telemetry import (
+    CHROME_TRACE_SCHEMA,
+    EVENT_SCHEMA,
+    RUN_MANIFEST_SCHEMA,
+)
+from repro.telemetry.schema import check
+
+
+class TestCheck:
+    def test_valid_event_passes(self):
+        record = {"cycle": 10.0, "event": "llc_miss", "core": 0, "line": 64}
+        assert check(record, EVENT_SCHEMA) == []
+
+    def test_missing_required_key(self):
+        errors = check({"cycle": 1.0}, EVENT_SCHEMA)
+        assert any("missing required key 'event'" in error for error in errors)
+
+    def test_wrong_type(self):
+        record = {"cycle": "ten", "event": "llc_miss", "core": 0, "line": -1}
+        errors = check(record, EVENT_SCHEMA)
+        assert any("expected number, got str" in error for error in errors)
+
+    def test_enum_violation(self):
+        record = {"cycle": 1.0, "event": "warp_drive", "core": 0, "line": -1}
+        errors = check(record, EVENT_SCHEMA)
+        assert any("'warp_drive' not one of" in error for error in errors)
+
+    def test_minimum_violation(self):
+        record = {"cycle": -1.0, "event": "llc_miss", "core": 0, "line": -1}
+        errors = check(record, EVENT_SCHEMA)
+        assert any("below minimum" in error for error in errors)
+
+    def test_boolean_is_not_an_integer(self):
+        """``bool`` subclasses ``int`` in Python; the schema must not
+        accept ``True`` where an integer is pinned."""
+        record = {"cycle": 1.0, "event": "llc_miss", "core": True, "line": -1}
+        errors = check(record, EVENT_SCHEMA)
+        assert any("expected integer, got boolean" in error for error in errors)
+
+    def test_array_items_checked_with_index_paths(self):
+        trace = {
+            "displayTimeUnit": "ms",
+            "traceEvents": [
+                {"name": "ok", "ph": "M", "pid": 0, "tid": 0},
+                {"name": "bad", "ph": "Z", "pid": 0, "tid": 0},
+            ],
+        }
+        errors = check(trace, CHROME_TRACE_SCHEMA)
+        assert len(errors) == 1
+        assert errors[0].startswith("$.traceEvents[1].ph")
+
+    def test_manifest_status_enum(self):
+        manifest = {
+            "schema": 1,
+            "jobs": [
+                {"key": "k", "label": "l", "status": "maybe", "cached": False}
+            ],
+        }
+        errors = check(manifest, RUN_MANIFEST_SCHEMA)
+        assert any("'maybe' not one of" in error for error in errors)
+
+    def test_valid_manifest_passes(self):
+        manifest = {
+            "schema": 1,
+            "settings": {"scale": 0.0625},
+            "jobs": [
+                {
+                    "key": "k",
+                    "label": "MIX_10/inclusive/qbs",
+                    "status": "done",
+                    "cached": False,
+                    "attempts": 1,
+                    "wall_s": 0.5,
+                    "cpu_s": 0.4,
+                    "events": 120,
+                },
+                {"key": "j", "label": "x", "status": "cached", "cached": True},
+            ],
+        }
+        assert check(manifest, RUN_MANIFEST_SCHEMA) == []

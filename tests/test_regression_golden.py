@@ -61,3 +61,41 @@ class TestGoldenRun:
         ).run()
         assert again.ipcs == golden_run.ipcs
         assert again.traffic == golden_run.traffic
+
+
+class TestTelemetryDoesNotPerturb:
+    """Observability must be read-only: the golden numbers hold with
+    event tracing and interval collection switched on."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        from repro.telemetry import TelemetryConfig
+
+        reference = baseline_hierarchy(2, scale=SCALE)
+        config = SimConfig(
+            hierarchy=baseline_hierarchy(2, scale=SCALE),
+            instruction_quota=QUOTA,
+            warmup_instructions=WARMUP,
+        )
+        return CMPSimulator(
+            config,
+            mix_by_name("MIX_10").traces(reference),
+            telemetry=TelemetryConfig(enabled=True, interval=5_000),
+        ).run()
+
+    def test_golden_numbers_unchanged_under_tracing(
+        self, traced_run, golden_run
+    ):
+        assert traced_run.total_inclusion_victims == GOLDEN_VICTIMS
+        assert traced_run.total_llc_misses == GOLDEN_LLC_MISSES
+        assert traced_run.ipcs == golden_run.ipcs
+        assert traced_run.traffic == golden_run.traffic
+
+    def test_interval_series_sums_to_golden_aggregates(self, traced_run):
+        series = traced_run.intervals
+        assert series is not None
+        assert series.total("inclusion_victims") == GOLDEN_VICTIMS
+        assert series.total_cycles == traced_run.max_cycles
+
+    def test_untraced_result_exposes_no_intervals(self, golden_run):
+        assert golden_run.intervals is None
