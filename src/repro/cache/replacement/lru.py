@@ -36,8 +36,15 @@ class LRUPolicy(ReplacementPolicy):
         self._touch(set_index, way, to_front=True)
 
     def on_hit(self, set_index: int, way: int) -> None:
-        self.last_hit_was_mru = self._stacks[set_index][0] == way
-        self._touch(set_index, way, to_front=True)
+        # MRU hits are the common case under temporal locality; leaving
+        # the stack untouched for them skips a remove+insert pair.
+        stack = self._stacks[set_index]
+        if stack[0] == way:
+            self.last_hit_was_mru = True
+            return
+        self.last_hit_was_mru = False
+        stack.remove(way)
+        stack.insert(0, way)
 
     def on_invalidate(self, set_index: int, way: int) -> None:
         self._touch(set_index, way, to_front=False)

@@ -11,6 +11,7 @@ the quota boundary.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
@@ -18,6 +19,7 @@ from ..config import SimConfig
 from ..errors import SimulationError
 from ..hierarchy import BaseHierarchy, CoreAccessStats, build_hierarchy
 from ..hierarchy.mshr import MSHRFile
+from ..perf.phase import PHASE_SIM_LOOP, PhaseTimer
 from ..telemetry import (
     IntervalCollector,
     IntervalSeries,
@@ -59,6 +61,12 @@ class SimResult:
     #: fixed-window telemetry time series (None unless the run had
     #: telemetry configured; see :mod:`repro.telemetry.intervals`).
     intervals: Optional[IntervalSeries] = None
+    #: host-side performance digest (wall seconds, simulated-work rates
+    #: and, when a :class:`repro.perf.PhaseTimer` was attached, its
+    #: per-phase exclusive-time report).  Pure provenance about *this
+    #: execution of the simulator* — never part of the simulated
+    #: output, never written to the result cache.
+    host: Optional[Dict[str, object]] = None
 
     @property
     def ipcs(self) -> List[float]:
@@ -91,6 +99,7 @@ class CMPSimulator:
         traces: Sequence[Iterator[TraceRecord]],
         hierarchy: Optional[BaseHierarchy] = None,
         telemetry: Optional[TelemetryConfig] = None,
+        phase_timer: Optional[PhaseTimer] = None,
     ) -> None:
         if len(traces) != config.hierarchy.num_cores:
             raise SimulationError(
@@ -126,6 +135,16 @@ class CMPSimulator:
             )
             for core in self.cores:
                 core.attach_collector(self._collector)
+        # Host-side phase timer: attributes the simulator's own wall
+        # time to phases (trace_gen / l1_access / llc_access / ...).
+        # A disabled (or absent) timer installs nothing, so the demand
+        # path keeps its ``is None`` fast branch; attaching never
+        # changes simulated statistics.
+        self.phase_timer: Optional[PhaseTimer] = phase_timer
+        if phase_timer is not None and phase_timer.enabled:
+            self.hierarchy.phase_timer = phase_timer
+            for core in self.cores:
+                core.attach_phase_timer(phase_timer)
 
     def run(self, check_invariants_every: int = 0) -> SimResult:
         """Run until every core completes its quota; returns results.
@@ -148,6 +167,10 @@ class CMPSimulator:
         remaining = sum(1 for core in self.cores if not core.done)
         burst = 1 if check_invariants_every else 8
         steps = 0
+        timer = self.phase_timer
+        wall_start = time.perf_counter()
+        if timer is not None:
+            timer.enter(PHASE_SIM_LOOP)
         while remaining:
             core = min(active, key=_core_clock)
             for _ in range(burst):
@@ -170,11 +193,32 @@ class CMPSimulator:
                     and steps % check_invariants_every == 0
                 ):
                     self.hierarchy.check_invariants()
+        if timer is not None:
+            timer.exit()
         if check_invariants_every:
             self.hierarchy.check_invariants()
         if self.hierarchy.sanitizer is not None:
             self.hierarchy.sanitizer.final_check()
-        return self._collect()
+        result = self._collect()
+        result.host = self._host_digest(
+            time.perf_counter() - wall_start, steps
+        )
+        return result
+
+    def _host_digest(self, wall_s: float, steps: int) -> Dict[str, object]:
+        """Build the host-performance digest for this execution."""
+        instructions = sum(core.instructions for core in self.cores)
+        host: Dict[str, object] = {
+            "wall_s": wall_s,
+            "accesses": steps,
+            "instructions": instructions,
+            "instructions_per_s": instructions / wall_s if wall_s > 0 else 0.0,
+            "accesses_per_s": steps / wall_s if wall_s > 0 else 0.0,
+        }
+        timer = self.phase_timer
+        if timer is not None and timer.enabled:
+            host["phases"] = timer.report()
+        return host
 
     def _collect(self) -> SimResult:
         core_results: List[CoreResult] = []

@@ -14,6 +14,7 @@ from ..config import SimConfig
 from ..errors import SimulationError
 from ..hierarchy import HIT_LLC, BaseHierarchy
 from ..hierarchy.mshr import MSHRFile
+from ..perf.phase import PHASE_TRACE_GEN
 from ..prefetch import make_prefetcher
 from ..workloads.trace import TraceRecord
 from .timing import CoreTimingModel
@@ -49,10 +50,17 @@ class SimulatedCore:
         #: interval collector hook; None (the default) keeps the step
         #: loop free of telemetry work.
         self._collector = None
+        #: host phase-timer hook; None (the default) keeps the trace
+        #: draw free of timing work.
+        self._phase_timer = None
 
     def attach_collector(self, collector) -> None:
         """Install the telemetry hook (advances the hierarchy clock)."""
         self._collector = collector
+
+    def attach_phase_timer(self, timer) -> None:
+        """Install the host phase timer (wraps the trace draw)."""
+        self._phase_timer = timer
 
     @property
     def instructions(self) -> int:
@@ -85,8 +93,16 @@ class SimulatedCore:
         generators are the normal case for experiments).
         """
         timing = self.timing
+        timer = self._phase_timer
         try:
-            gap, kind, address = next(self.trace)
+            if timer is not None:
+                timer.enter(PHASE_TRACE_GEN)
+                try:
+                    gap, kind, address = next(self.trace)
+                finally:
+                    timer.exit()
+            else:
+                gap, kind, address = next(self.trace)
         except StopIteration:
             self._exhausted = True
             self._finish()

@@ -80,6 +80,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="record 1 in N eligible events (exact counts are kept "
         "regardless; overrides REPRO_TRACE_SAMPLE)",
     )
+    parser.add_argument(
+        "--host-phases",
+        action="store_true",
+        help="attribute the simulator's own wall time to host phases "
+        "and print the per-phase report (overrides REPRO_HOST_PHASES)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -104,6 +110,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             categories=telemetry_config.categories,
         )
         settings = replace(settings, telemetry=telemetry_config)
+    if args.host_phases:
+        settings = replace(settings, host_phases=True)
     run_telemetry = (
         RunTelemetry(telemetry_config) if telemetry_config.active else None
     )
@@ -119,6 +127,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             else ""
         )
     )
+    sweep_start = time.perf_counter()
     for name in names:
         start = time.perf_counter()
         result = run_experiment(name, runner=runner)
@@ -134,6 +143,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             directory = Path(args.json_dir)
             directory.mkdir(parents=True, exist_ok=True)
             export.to_json(result, directory / f"{name}.json")
+    if settings.host_phases:
+        from ..metrics.throughput import aggregate_host
+        from ..perf import (
+            format_host_report,
+            format_phase_report,
+            merge_phase_reports,
+        )
+
+        aggregate = aggregate_host(
+            runner.host_digests,
+            workers=max(1, settings.jobs),
+            wall_s=time.perf_counter() - sweep_start,
+        )
+        phases = merge_phase_reports(
+            digest.get("phases") for digest in runner.host_digests
+        )
+        print()
+        print(format_host_report(aggregate, phases))
+        if runner.phase_timer is not None and runner.phase_timer.totals:
+            print("  sweep phases (orchestrator wall time):")
+            print(
+                format_phase_report(runner.phase_timer.report(), indent="    ")
+            )
     if run_telemetry is not None:
         paths = run_telemetry.write(
             settings={

@@ -35,6 +35,7 @@ from ..orchestrate import (
     execute_job,
     job_key,
 )
+from ..perf import PhaseTimer
 from ..telemetry import TelemetryConfig
 from ..workloads import WorkloadMix, all_two_core_mixes
 
@@ -54,8 +55,9 @@ class ExperimentSettings:
     ``REPRO_WARMUP``, ``REPRO_SAMPLE``, ``REPRO_CACHE_DIR``,
     ``REPRO_FULL=1`` (every 105-mix aggregate instead of a sample),
     ``REPRO_JOBS`` (worker processes for batch submissions; 1 =
-    serial) and ``REPRO_JOB_TIMEOUT`` (seconds per job before a
-    worker is killed and the job retried).
+    serial), ``REPRO_JOB_TIMEOUT`` (seconds per job before a
+    worker is killed and the job retried) and ``REPRO_HOST_PHASES=1``
+    (host phase timers on every job; see :mod:`repro.perf`).
     """
 
     scale: float = 0.0625
@@ -72,6 +74,10 @@ class ExperimentSettings:
     #: telemetry knobs (event tracing / interval series); default off
     #: so settings-driven runs take the exact pre-telemetry path.
     telemetry: TelemetryConfig = TelemetryConfig()
+    #: attach host phase timers to every job (``REPRO_HOST_PHASES=1``
+    #: or ``--host-phases``); pure host observability, never part of
+    #: job identity, default off so hook sites stay on the fast path.
+    host_phases: bool = False
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
@@ -88,6 +94,7 @@ class ExperimentSettings:
             jobs=int(env.get("REPRO_JOBS", 1)),
             job_timeout=float(timeout) if timeout else None,
             telemetry=TelemetryConfig.from_env(),
+            host_phases=env.get("REPRO_HOST_PHASES", "") not in ("", "0"),
         )
 
 
@@ -155,6 +162,7 @@ def _build_job(
         trace_out=telemetry.out_dir if telemetry.enabled else None,
         trace_sample=telemetry.sample,
         trace_categories=telemetry.categories,
+        host_phases=settings.host_phases,
     )
 
 
@@ -183,6 +191,15 @@ class Runner:
         #: optional :class:`repro.telemetry.RunTelemetry` receiving
         #: per-run provenance from both the serial and batch paths.
         self.telemetry = telemetry
+        #: sweep-level host phase timer (orchestrate_overhead /
+        #: execute_job / pool_wait); constructed only when the
+        #: settings opt in, so default runs keep every hook dormant.
+        self.phase_timer: Optional[PhaseTimer] = (
+            PhaseTimer() if self.settings.host_phases else None
+        )
+        #: host digests from every job this runner executed (serial
+        #: and batch paths); cache hits contribute nothing.
+        self.host_digests: List[dict] = []
 
     # -- the workhorse ---------------------------------------------------------
     def run(
@@ -219,6 +236,8 @@ class Runner:
         start = self.telemetry.now() if self.telemetry is not None else 0.0
         summary = execute_job(job)
         self.cache.store(key, summary)
+        if summary.host:
+            self.host_digests.append(summary.host)
         if self.telemetry is not None:
             self.telemetry.note_executed(
                 key,
@@ -228,6 +247,7 @@ class Runner:
                 start=start,
                 end=self.telemetry.now(),
                 telemetry=summary.telemetry,
+                host=summary.host,
             )
         return summary
 
@@ -264,8 +284,10 @@ class Runner:
             timeout=self.settings.job_timeout,
             reporter=self.reporter,
             telemetry=self.telemetry,
+            phase_timer=self.phase_timer,
         )
         results = orchestrator.run(sim_jobs)
+        self.host_digests.extend(orchestrator.host_digests)
         return [results[job_key(job)] for job in sim_jobs]
 
     def _manifest(self) -> Optional[SweepManifest]:

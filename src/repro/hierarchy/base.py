@@ -20,6 +20,12 @@ from ..cache import Cache, EvictedLine
 from ..coherence import Directory, MessageType, TrafficMeter
 from ..config import HierarchyConfig
 from ..errors import SimulationError
+from ..perf.phase import (
+    PHASE_BACK_INVALIDATE,
+    PHASE_L1_ACCESS,
+    PHASE_LLC_ACCESS,
+    PHASE_REPLACEMENT,
+)
 from ..sanitize.base import HierarchySanitizer, sanitizer_from_config
 from ..telemetry.events import (
     EVENT_INCLUSION_VICTIM,
@@ -121,6 +127,11 @@ class BaseHierarchy:
         #: telemetry tracer; stays None unless a telemetry-enabled run
         #: installs one, so untraced hook sites pay one ``is None`` test.
         self.tracer: Optional["Tracer"] = None
+        #: host phase timer (see :mod:`repro.perf.phase`); same
+        #: discipline as the tracer — None keeps the demand path on a
+        #: couple of ``is None`` tests per access and must never
+        #: influence simulated statistics.
+        self.phase_timer = None
         #: approximate global cycle clock for event timestamps, advanced
         #: by the CPU step hook only while telemetry is active.
         self.clock = 0.0
@@ -173,6 +184,11 @@ class BaseHierarchy:
         sanitizer = self.sanitizer
         if sanitizer is not None:
             sanitizer.on_access()
+        timer = self.phase_timer
+        if timer is not None:
+            # The l1_access phase covers the core-cache (L1 + L2)
+            # probe; the LLC section re-enters as llc_access below.
+            timer.enter(PHASE_L1_ACCESS)
         line_addr = address >> self.line_shift
         core = self.cores[core_id]
         stats = self.core_stats[core_id] if record_stats else None
@@ -190,6 +206,8 @@ class BaseHierarchy:
             self.tla.on_core_cache_hit(
                 core_id, "il1" if is_ifetch else "dl1", line_addr
             )
+            if timer is not None:
+                timer.exit()
             return HIT_L1
         if stats is not None:
             if is_ifetch:
@@ -203,11 +221,16 @@ class BaseHierarchy:
         if core.l2.access(line_addr):
             self._fill_core_l1(core, line_addr, is_ifetch, is_write)
             self.tla.on_core_cache_hit(core_id, "l2", line_addr)
+            if timer is not None:
+                timer.exit()
             return HIT_L2
         if stats is not None:
             stats.l2_misses += 1
 
         # LLC
+        if timer is not None:
+            timer.exit()
+            timer.enter(PHASE_LLC_ACCESS)
         self.traffic.record(MessageType.LLC_REQUEST)
         if stats is not None:
             stats.llc_accesses += 1
@@ -221,6 +244,8 @@ class BaseHierarchy:
         self._fill_dirty = False
         self._fill_core_l1(core, line_addr, is_ifetch, is_write or fill_dirty)
         self.directory.on_fill_to_core(line_addr, core_id)
+        if timer is not None:
+            timer.exit()
         return level
 
     def prefetch(self, core_id: int, address: int) -> bool:
@@ -298,6 +323,9 @@ class BaseHierarchy:
     # -- LLC fill with TLA victim selection ----------------------------------------
     def _fill_llc(self, core_id: int, line_addr: int) -> None:
         """Insert ``line_addr`` into the LLC using the TLA victim flow."""
+        timer = self.phase_timer
+        if timer is not None:
+            timer.enter(PHASE_REPLACEMENT)
         set_index = self.llc.set_index_of(line_addr)
         if self.llc.contains(line_addr):
             raise SimulationError("LLC fill for already-resident line")
@@ -322,6 +350,8 @@ class BaseHierarchy:
         if victim is not None:
             self._on_llc_eviction(victim)
         self.tla.after_llc_miss_fill(core_id, set_index, way, line_addr)
+        if timer is not None:
+            timer.exit()
 
     # -- shared back-invalidate machinery (inclusive mode + ECI) ---------------------
     def _back_invalidate(
@@ -342,6 +372,9 @@ class BaseHierarchy:
         """
         any_present = False
         tracer = self.tracer
+        timer = self.phase_timer
+        if timer is not None:
+            timer.enter(PHASE_BACK_INVALIDATE)
         if not record_inclusion_victim and self.sanitizer is not None:
             # ECI / modified QBS: the line stays LLC-resident while its
             # core copies are deliberately removed.  Tell the sanitizer
@@ -377,6 +410,8 @@ class BaseHierarchy:
                     self._notify("on_inclusion_victim", sharer, line_addr)
             else:
                 self.core_stats[sharer].eci_invalidations += 1
+        if timer is not None:
+            timer.exit()
         return any_present
 
     # -- residency queries (QBS) -------------------------------------------------------

@@ -19,6 +19,8 @@ import sys
 import time
 from typing import Callable, Optional, TextIO
 
+from ..perf.report import format_rate
+
 
 def format_eta(seconds: float) -> str:
     """Render a second count as a compact ``MM:SS`` / ``H:MM:SS``."""
@@ -64,6 +66,9 @@ class ProgressReporter:
         # (back-invalidate-class events and the cycles they span).
         self._binv_events = 0
         self._binv_cycles = 0.0
+        # host digests accumulated from completed jobs (simulated
+        # instructions executed -> live sweep instructions/second).
+        self._host_instructions = 0
 
     # -- orchestrator interface ------------------------------------------------
     def start(self, total: int, cached: int = 0) -> None:
@@ -73,6 +78,7 @@ class ProgressReporter:
         self._last_emit = 0.0
         self._binv_events = 0
         self._binv_cycles = 0.0
+        self._host_instructions = 0
         if cached:
             self._emit(
                 self.render(completed=cached, failed=0, running=0, workers=0),
@@ -96,6 +102,9 @@ class ProgressReporter:
         ship only these compact digests over their result pipes, so the
         live event rate costs no event shipping.
         """
+        host = getattr(summary, "host", None)
+        if host:
+            self._host_instructions += int(host.get("instructions", 0))
         digest = getattr(summary, "telemetry", None)
         if not digest:
             return
@@ -124,6 +133,11 @@ class ProgressReporter:
         if workers > 1:
             utilisation = running / workers if workers else 0.0
             parts.append(f"workers={workers} util={utilisation:.0%}")
+        if self._host_instructions > 0:
+            elapsed = self._clock() - self._started
+            if elapsed > 0:
+                rate = self._host_instructions / elapsed
+                parts.append(f"sim-instr/s={format_rate(rate)}")
         if self._binv_cycles > 0:
             rate = 1000.0 * self._binv_events / self._binv_cycles
             parts.append(f"binv/kc={rate:.2f}")

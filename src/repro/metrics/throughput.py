@@ -1,9 +1,17 @@
-"""Multi-programmed performance metrics (paper footnote 5)."""
+"""Multi-programmed performance metrics (paper footnote 5).
+
+Also home to the *host*-throughput helpers (:func:`host_rate`,
+:func:`aggregate_host`): simulated-work-per-wall-second rates computed
+from the per-execution ``RunSummary.host`` digests that
+:mod:`repro.perf` attaches.  Simulated metrics above measure the
+machine being modelled; host metrics measure the simulator doing the
+modelling.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 from ..errors import ConfigurationError
 
@@ -61,3 +69,63 @@ def _check_pairs(ipcs: Sequence[float], isolated: Sequence[float]) -> None:
         raise ConfigurationError("need matching, non-empty IPC sequences")
     if any(value <= 0 for value in isolated):
         raise ConfigurationError("isolated IPCs must be positive")
+
+
+# -- host (simulator) throughput ---------------------------------------------
+def host_rate(work: float, seconds: float) -> float:
+    """Simulated work units per wall second; 0.0 for a zero-length span.
+
+    The zero-duration guard matters on the consumer side: cached
+    summaries (``host=None``) and instantaneous jobs must fold into
+    aggregates as "no rate" rather than dividing by zero.  Negative
+    inputs are configuration errors, not noise, and raise.
+    """
+    if work < 0:
+        raise ConfigurationError("work must be non-negative")
+    if seconds < 0:
+        raise ConfigurationError("seconds must be non-negative")
+    if seconds == 0:
+        return 0.0
+    return work / seconds
+
+
+def aggregate_host(
+    hosts: Iterable[Optional[Dict]],
+    workers: int = 1,
+    wall_s: Optional[float] = None,
+) -> Dict[str, float]:
+    """Fold per-job host digests into one sweep-level summary.
+
+    ``hosts`` are ``RunSummary.host`` dicts; ``None`` entries (cached
+    or pre-perf summaries) are skipped but the executed-job rates stay
+    correct because rates are recomputed from the summed totals, not
+    averaged.  With the sweep's ``wall_s`` and worker count, the pool
+    utilisation ``busy_s / (workers * wall_s)`` is included.
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    if wall_s is not None and wall_s < 0:
+        raise ConfigurationError("wall_s must be non-negative")
+    jobs = 0
+    instructions = 0
+    accesses = 0
+    busy_s = 0.0
+    for host in hosts:
+        if not host:
+            continue
+        jobs += 1
+        instructions += int(host.get("instructions", 0))
+        accesses += int(host.get("accesses", 0))
+        busy_s += float(host.get("job_wall_s", host.get("wall_s", 0.0)))
+    aggregate: Dict[str, float] = {
+        "jobs": jobs,
+        "instructions": instructions,
+        "accesses": accesses,
+        "busy_s": busy_s,
+        "instructions_per_s": host_rate(instructions, busy_s),
+        "accesses_per_s": host_rate(accesses, busy_s),
+    }
+    if wall_s is not None and wall_s > 0:
+        aggregate["wall_s"] = wall_s
+        aggregate["utilisation"] = min(1.0, busy_s / (workers * wall_s))
+    return aggregate

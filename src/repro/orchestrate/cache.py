@@ -55,6 +55,11 @@ class ResultCache:
         path = self.path_for(key)
         if path is not None:
             data = asdict(summary)
+            # The host digest is per-execution provenance (wall times
+            # differ run to run), so it is stripped unconditionally:
+            # cache files depend only on simulated output, keeping
+            # serial and parallel sweeps byte-identical.
+            data.pop("host", None)
             # Optional telemetry fields are omitted when unset so the
             # cache files of untraced runs stay byte-identical to
             # pre-telemetry entries (pinned by the golden tests).

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..config import TLAConfig, baseline_hierarchy, variant_sim_config
 from ..cpu import CMPSimulator
+from ..perf.phase import PHASE_EXECUTE_JOB, PhaseTimer
 from ..telemetry import TelemetryConfig, write_events_jsonl
 from ..version import __version__
 from ..workloads import WorkloadMix
@@ -56,6 +57,12 @@ class RunSummary:
     intervals: Optional[Dict] = None
     #: compact tracer/runtime digest (telemetry runs only).
     telemetry: Optional[Dict] = None
+    #: host-performance digest for the execution that produced this
+    #: summary (wall seconds, simulated instructions/s, optional phase
+    #: report).  Per-execution provenance, NOT simulated output: the
+    #: result cache strips it before writing, so cache replays carry
+    #: ``host=None`` and serial/parallel entries stay byte-identical.
+    host: Optional[Dict] = None
 
     @property
     def throughput(self) -> float:
@@ -98,6 +105,11 @@ class SimJob:
     trace_out: Optional[str] = None
     trace_sample: int = 1
     trace_categories: Tuple[str, ...] = ()
+    #: attach a host :class:`~repro.perf.PhaseTimer` to the simulation
+    #: (phase report lands in ``RunSummary.host``).  Pure host-side
+    #: observability — like ``trace_out`` it never joins the job key,
+    #: because it cannot change simulated output.
+    host_phases: bool = False
 
     @property
     def num_cores(self) -> int:
@@ -156,6 +168,13 @@ def execute_job(job: SimJob) -> RunSummary:
     interchangeable with serial ones.
     """
     cpu_start = time.process_time()
+    wall_start = time.perf_counter()
+    timer: Optional[PhaseTimer] = PhaseTimer() if job.host_phases else None
+    if timer is not None:
+        # Everything outside the simulator proper (trace construction,
+        # config resolution, summarising) is charged to execute_job;
+        # the simulator's own phases nest inside.
+        timer.enter(PHASE_EXECUTE_JOB)
     telemetry: Optional[TelemetryConfig] = None
     if job.trace or job.intervals:
         telemetry = TelemetryConfig(
@@ -180,7 +199,9 @@ def execute_job(job: SimJob) -> RunSummary:
         warmup=job.warmup,
         victim_cache_entries=job.victim_cache_entries,
     )
-    simulator = CMPSimulator(config, mix.traces(reference), telemetry=telemetry)
+    simulator = CMPSimulator(
+        config, mix.traces(reference), telemetry=telemetry, phase_timer=timer
+    )
     result = simulator.run()
     summary = RunSummary(
         mix=mix.name,
@@ -232,4 +253,13 @@ def execute_job(job: SimJob) -> RunSummary:
                 )
                 digest["events_path"] = str(path)
         summary.telemetry = digest
+    host: Dict = dict(result.host or {})
+    host["job_wall_s"] = time.perf_counter() - wall_start
+    host["cpu_s"] = time.process_time() - cpu_start
+    if timer is not None:
+        timer.exit()
+        # Re-report phases at job granularity: includes the
+        # execute_job envelope around the simulator's own phases.
+        host["phases"] = timer.report()
+    summary.host = host
     return summary

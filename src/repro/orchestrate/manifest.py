@@ -31,6 +31,10 @@ class ManifestRecord:
     attempts: int = 1
     error: Optional[str] = None
     label: Optional[str] = None
+    #: compact host-throughput digest for executed jobs (wall seconds,
+    #: simulated instructions/s, accesses/s); None for cached/failed
+    #: jobs or journals written before host metrics existed.
+    host: Optional[Dict] = None
 
 
 class SweepManifest:
@@ -46,6 +50,7 @@ class SweepManifest:
         attempts: int = 1,
         error: Optional[str] = None,
         label: Optional[str] = None,
+        host: Optional[Dict] = None,
     ) -> None:
         """Append one outcome line; flushed so a later crash keeps it."""
         entry = {"key": key, "status": status, "attempts": attempts}
@@ -53,6 +58,8 @@ class SweepManifest:
             entry["error"] = error
         if label is not None:
             entry["label"] = label
+        if host is not None:
+            entry["host"] = host
         self.path.parent.mkdir(parents=True, exist_ok=True)
         # A sweep killed mid-append leaves a line without its newline;
         # terminate it first so the partial line poisons nothing else.
@@ -88,6 +95,7 @@ class SweepManifest:
                 attempts=entry.get("attempts", 1),
                 error=entry.get("error"),
                 label=entry.get("label"),
+                host=entry.get("host"),
             )
         return records
 

@@ -22,6 +22,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from collections import deque
 
 from ..errors import OrchestrationError
+from ..perf.phase import (
+    PHASE_EXECUTE_JOB,
+    PHASE_ORCHESTRATE,
+    PHASE_POOL_WAIT,
+)
 from ..telemetry import get_logger
 from .cache import ResultCache
 from .job import execute_job, job_key
@@ -52,6 +57,7 @@ class Orchestrator:
         reporter=None,
         context=None,
         telemetry=None,
+        phase_timer=None,
     ) -> None:
         if retries < 0:
             raise OrchestrationError("retries must be >= 0")
@@ -71,8 +77,15 @@ class Orchestrator:
         #: per-job provenance (wall/CPU time, retries, cache hits) for
         #: the Chrome trace and the enriched run manifest.
         self.telemetry = telemetry
+        #: optional :class:`repro.perf.PhaseTimer` attributing the
+        #: sweep's wall time to orchestrate_overhead / execute_job /
+        #: pool_wait; None keeps scheduling loops hook-free.
+        self.phase_timer = phase_timer
         #: key -> final error message of permanently failed jobs (last run).
         self.failures: Dict[str, str] = {}
+        #: host digests of executed jobs (cache hits carry none); the
+        #: raw material for sweep-level throughput aggregation.
+        self.host_digests: List[Dict[str, Any]] = []
         self._completed = 0
         self._total = 0
         self._workers = 1
@@ -90,6 +103,18 @@ class Orchestrator:
         also the resume path: an interrupted sweep re-run with the same
         cache only executes its unfinished jobs.
         """
+        timer = self.phase_timer
+        if timer is not None:
+            timer.enter(PHASE_ORCHESTRATE)
+        try:
+            return self._run(sim_jobs, raise_on_failure)
+        finally:
+            if timer is not None:
+                timer.exit()
+
+    def _run(
+        self, sim_jobs: Sequence[Any], raise_on_failure: bool
+    ) -> Dict[str, Any]:
         ordered: Dict[str, Any] = {}
         for job in sim_jobs:
             ordered.setdefault(self.key_fn(job), job)
@@ -149,13 +174,21 @@ class Orchestrator:
         serial mode exists precisely for environments where spawning
         one is not an option.
         """
+        timer = self.phase_timer
         for key, job in pending:
             attempts = 0
             self._started[key] = self._now()
             while True:
                 attempts += 1
                 try:
-                    result = self.execute(job)
+                    if timer is not None:
+                        timer.enter(PHASE_EXECUTE_JOB)
+                        try:
+                            result = self.execute(job)
+                        finally:
+                            timer.exit()
+                    else:
+                        result = self.execute(job)
                 except Exception as exc:  # noqa: BLE001 — retried/reported
                     error = f"{type(exc).__name__}: {exc}"
                     if attempts > self.retries:
@@ -204,7 +237,19 @@ class Orchestrator:
                     wake = min(ready_at.get(key, 0.0) for key, _ in queue)
                     time.sleep(max(0.0, min(wake - now, self.backoff or 0.05)))
                     continue
-                for kind, key, payload in pool.poll(0.05):
+                timer = self.phase_timer
+                if timer is not None:
+                    # Blocking on worker results is pool_wait, not
+                    # orchestration overhead: a saturated pool should
+                    # show high pool_wait, not a slow scheduler.
+                    timer.enter(PHASE_POOL_WAIT)
+                    try:
+                        events = pool.poll(0.05)
+                    finally:
+                        timer.exit()
+                else:
+                    events = pool.poll(0.05)
+                for kind, key, payload in events:
                     job = jobs_by_key[key]
                     inflight.discard(key)
                     attempts[key] += 1
@@ -258,9 +303,16 @@ class Orchestrator:
         # cache entries are byte-identical to serial ones.
         if self.cache is not None:
             self.cache.store(key, result)
+        host = getattr(result, "host", None)
+        if host:
+            self.host_digests.append(host)
         if self.manifest is not None:
             self.manifest.record(
-                key, STATUS_DONE, attempts=attempts, label=self._label(job)
+                key,
+                STATUS_DONE,
+                attempts=attempts,
+                label=self._label(job),
+                host=_compact_host(host),
             )
         if self.telemetry is not None:
             end = self.telemetry.now()
@@ -272,6 +324,7 @@ class Orchestrator:
                 start=self._started.get(key, end),
                 end=end,
                 telemetry=getattr(result, "telemetry", None),
+                host=host,
             )
         if self.reporter is not None:
             note = getattr(self.reporter, "note_result", None)
@@ -317,3 +370,19 @@ class Orchestrator:
                 running=running,
                 workers=self._workers,
             )
+
+
+def _compact_host(host: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Lean per-job host digest for the manifest journal (no phases)."""
+    if not host:
+        return None
+    keep = (
+        "wall_s",
+        "job_wall_s",
+        "cpu_s",
+        "instructions",
+        "accesses",
+        "instructions_per_s",
+        "accesses_per_s",
+    )
+    return {key: host[key] for key in keep if key in host}

@@ -1,0 +1,69 @@
+"""Host-side performance observability: phase timing, bench trajectory.
+
+Where :mod:`repro.telemetry` observes the *simulated machine*, this
+package observes the *simulator* — the Python process doing the work:
+
+* :class:`PhaseTimer` — hierarchical exclusive-time attribution of
+  wall-clock seconds to named host phases (trace generation, L1/LLC
+  handling, replacement, back-invalidation, orchestration overhead),
+  wired into the simulator behind the same nearly-free-when-off guard
+  idiom as the event tracer;
+* the pinned benchmark suite (:mod:`repro.perf.scenarios`) and runner
+  (:mod:`repro.perf.bench`) producing schema-validated
+  ``BENCH_<n>.json`` trajectory points, plus the noise-tolerant
+  regression gate (:mod:`repro.perf.compare`) CI runs against the
+  checked-in seed baseline;
+* the hotspot profiler (:mod:`repro.perf.profile`) wrapping cProfile
+  with collapsed-stack (flamegraph-ready) output.
+
+Run ``python -m repro.perf bench | compare | profile | validate``.
+
+This ``__init__`` deliberately imports only the dependency-light
+modules; :mod:`.bench` / :mod:`.profile` pull in the simulator and are
+imported lazily by the CLI, so hierarchy/CPU code can import the phase
+constants without a cycle.
+"""
+
+from .compare import Comparison, ScenarioDelta, compare_benches
+from .phase import (
+    ORCHESTRATOR_PHASES,
+    PHASE_BACK_INVALIDATE,
+    PHASE_EXECUTE_JOB,
+    PHASE_L1_ACCESS,
+    PHASE_LLC_ACCESS,
+    PHASE_ORCHESTRATE,
+    PHASE_POOL_WAIT,
+    PHASE_REPLACEMENT,
+    PHASE_SIM_LOOP,
+    PHASE_TRACE_GEN,
+    SIMULATOR_PHASES,
+    PhaseTimer,
+    merge_phase_reports,
+)
+from .report import format_host_report, format_phase_report, format_rate
+from .schema import BENCH_SCHEMA, BENCH_SCHEMA_VERSION, validate_bench
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "Comparison",
+    "ORCHESTRATOR_PHASES",
+    "PHASE_BACK_INVALIDATE",
+    "PHASE_EXECUTE_JOB",
+    "PHASE_L1_ACCESS",
+    "PHASE_LLC_ACCESS",
+    "PHASE_ORCHESTRATE",
+    "PHASE_POOL_WAIT",
+    "PHASE_REPLACEMENT",
+    "PHASE_SIM_LOOP",
+    "PHASE_TRACE_GEN",
+    "PhaseTimer",
+    "ScenarioDelta",
+    "SIMULATOR_PHASES",
+    "compare_benches",
+    "format_host_report",
+    "format_phase_report",
+    "format_rate",
+    "merge_phase_reports",
+    "validate_bench",
+]

@@ -1,0 +1,152 @@
+"""Noise-tolerant comparison of two bench trajectory points.
+
+``compare_benches`` looks at every scenario present in both artifacts
+and classifies the change by *slowdown factor* ``old_rate / new_rate``:
+
+* ``slowdown > 1 + tolerance``      -> regression (or warning, when a
+  separate ``warn_tolerance`` band is configured below ``tolerance``)
+* ``slowdown < 1 / (1 + tolerance)`` -> improvement (reported, never fatal)
+* anything else                      -> unchanged within noise
+
+Two thresholds exist because the trajectory is consumed in two places:
+locally (same machine as the baseline — a tight default tolerance is
+meaningful) and on shared CI runners (machine speed varies wildly — CI
+passes a loose hard-fail tolerance plus a tighter warn band, so drift
+is visible without making the gate flaky).  Scenario sets may also
+drift across commits; scenarios present on only one side are reported
+as notes, never failures, so adding a scenario does not break the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+#: default local tolerance: 30 % slower than baseline fails.
+DEFAULT_TOLERANCE = 0.3
+
+
+@dataclass
+class ScenarioDelta:
+    """One scenario's old-vs-new outcome."""
+
+    name: str
+    metric: str
+    old_value: float
+    new_value: float
+    slowdown: float  # old/new; > 1 means the new run is slower
+    status: str  # "ok" | "improved" | "warning" | "regression"
+
+    def describe(self) -> str:
+        if self.slowdown >= 1:
+            change = f"{(self.slowdown - 1) * 100:+.1f}% slower"
+        else:
+            change = f"{(1 / self.slowdown - 1) * 100:.1f}% faster"
+        return (
+            f"{self.name}: {self.old_value:,.0f} -> {self.new_value:,.0f} "
+            f"{self.metric} ({change}) [{self.status}]"
+        )
+
+
+@dataclass
+class Comparison:
+    """The full result of comparing two artifacts."""
+
+    deltas: List[ScenarioDelta] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[ScenarioDelta]:
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def warnings(self) -> List[ScenarioDelta]:
+        return [d for d in self.deltas if d.status == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [delta.describe() for delta in self.deltas]
+        lines.extend(f"note: {note}" for note in self.notes)
+        if self.regressions:
+            lines.append(
+                f"REGRESSION: {len(self.regressions)} scenario(s) exceeded "
+                "the slowdown tolerance"
+            )
+        elif self.warnings:
+            lines.append(
+                f"warning: {len(self.warnings)} scenario(s) slower than the "
+                "warn tolerance (within the hard-fail band)"
+            )
+        else:
+            lines.append("ok: no scenario regressed beyond tolerance")
+        return "\n".join(lines)
+
+
+def compare_benches(
+    old: Dict,
+    new: Dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    warn_tolerance: Optional[float] = None,
+) -> Comparison:
+    """Compare two bench artifact dicts; see the module docstring."""
+    if tolerance < 0:
+        raise ConfigurationError("tolerance must be non-negative")
+    if warn_tolerance is not None and not 0 <= warn_tolerance <= tolerance:
+        raise ConfigurationError(
+            "warn_tolerance must sit between 0 and the hard tolerance"
+        )
+    old_rows = {row["name"]: row for row in old["scenarios"]}
+    new_rows = {row["name"]: row for row in new["scenarios"]}
+    result = Comparison()
+    for name, old_row in old_rows.items():
+        new_row = new_rows.get(name)
+        if new_row is None:
+            result.notes.append(f"scenario {name!r} missing from the new run")
+            continue
+        old_value = float(old_row["value"])
+        new_value = float(new_row["value"])
+        if old_value <= 0 or new_value <= 0:
+            result.notes.append(
+                f"scenario {name!r} has a non-positive rate; skipped"
+            )
+            continue
+        slowdown = old_value / new_value
+        if slowdown > 1 + tolerance:
+            status = "regression"
+        elif warn_tolerance is not None and slowdown > 1 + warn_tolerance:
+            status = "warning"
+        elif slowdown < 1 / (1 + tolerance):
+            status = "improved"
+        else:
+            status = "ok"
+        result.deltas.append(
+            ScenarioDelta(
+                name=name,
+                metric=str(new_row.get("metric", old_row.get("metric", ""))),
+                old_value=old_value,
+                new_value=new_value,
+                slowdown=slowdown,
+                status=status,
+            )
+        )
+    for name in new_rows:
+        if name not in old_rows:
+            result.notes.append(f"scenario {name!r} is new (no baseline)")
+    if _fingerprints_differ(old, new):
+        result.notes.append(
+            "fingerprints differ (machine/python/commit); treat absolute "
+            "deltas with suspicion"
+        )
+    return result
+
+
+def _fingerprints_differ(old: Dict, new: Dict) -> bool:
+    keys = ("python", "platform", "cpu_count", "implementation")
+    old_fp = old.get("fingerprint", {})
+    new_fp = new.get("fingerprint", {})
+    return any(old_fp.get(key) != new_fp.get(key) for key in keys)

@@ -1,0 +1,151 @@
+"""Hotspot profiler: cProfile wrapped for experiments, flamegraph-ready.
+
+``profile_callable`` runs any zero-argument callable under
+:mod:`cProfile` and writes two artifacts:
+
+* ``profile-<label>.pstats`` — the raw stats dump, loadable with
+  ``pstats.Stats`` or snakeviz-style viewers;
+* ``profile-<label>.collapsed`` — collapsed-stack lines
+  (``frame;frame;frame <count>``) directly consumable by
+  ``flamegraph.pl`` / speedscope / inferno.
+
+cProfile records a *call graph* (caller -> callee edges), not full call
+stacks, so exact stack reconstruction is impossible; the collapse here
+uses the standard approximation (as in ``flameprof``): each function's
+self-time becomes one collapsed line whose stack is the chain of
+*heaviest* callers, cycle-guarded.  That is exactly what hotspot
+triage needs — the y-axis ancestry is approximate, the x-axis widths
+(self-time) are exact.
+
+``profile_experiment`` / ``profile_scenario`` are the two CLI entry
+points: profile one experiment driver (honouring the ``REPRO_*``
+fidelity knobs) or one pinned bench scenario.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import ConfigurationError
+
+#: collapsed stacks deeper than this are truncated (cycle safety net).
+MAX_STACK_DEPTH = 60
+
+
+def _frame_name(func: Tuple[str, int, str]) -> str:
+    """Render a pstats function key as ``module:line:name``."""
+    filename, line, name = func
+    if filename == "~":  # builtins
+        return name.strip("<>")
+    stem = Path(filename).name
+    return f"{stem}:{line}:{name}"
+
+
+def collapse_stats(stats: pstats.Stats, unit: float = 1e6) -> List[str]:
+    """Collapsed-stack lines from a :class:`pstats.Stats` call graph.
+
+    ``unit`` scales seconds into integer sample counts (default:
+    microseconds).  Functions with zero self-time are dropped — they
+    would collapse to zero-width frames anyway.
+    """
+    entries: Dict = stats.stats  # type: ignore[attr-defined]
+    lines: List[str] = []
+    for func, (_cc, _nc, tottime, _ct, _callers) in sorted(
+        entries.items(), key=lambda item: -item[1][2]
+    ):
+        samples = int(round(tottime * unit))
+        if samples <= 0:
+            continue
+        stack = [_frame_name(func)]
+        seen = {func}
+        current = func
+        while len(stack) < MAX_STACK_DEPTH:
+            callers = entries[current][4]
+            best = None
+            best_weight = -1.0
+            for caller, (_ccc, _ncc, _tt, cumulative, *_rest) in callers.items():
+                if caller in seen or caller not in entries:
+                    continue
+                if cumulative > best_weight:
+                    best_weight = cumulative
+                    best = caller
+            if best is None:
+                break
+            stack.append(_frame_name(best))
+            seen.add(best)
+            current = best
+        lines.append(";".join(reversed(stack)) + f" {samples}")
+    return lines
+
+
+def profile_callable(
+    fn: Callable[[], object],
+    label: str,
+    out_dir: Path = Path("."),
+) -> Dict[str, Path]:
+    """Profile ``fn()``; writes the two artifacts, returns their paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    pstats_path = out_dir / f"profile-{label}.pstats"
+    stats.dump_stats(str(pstats_path))
+    collapsed_path = out_dir / f"profile-{label}.collapsed"
+    collapsed_path.write_text(
+        "\n".join(collapse_stats(stats)) + "\n", encoding="utf-8"
+    )
+    return {"pstats": pstats_path, "collapsed": collapsed_path}
+
+
+def top_hotspots(pstats_path: Path, count: int = 15) -> List[str]:
+    """Human-readable top self-time lines from a ``.pstats`` artifact."""
+    stats = pstats.Stats(str(pstats_path))
+    entries = stats.stats  # type: ignore[attr-defined]
+    rows = sorted(entries.items(), key=lambda item: -item[1][2])[:count]
+    total = sum(row[1][2] for row in entries.items()) or 1.0
+    return [
+        f"{tottime:8.3f}s {100 * tottime / total:5.1f}%  "
+        f"{_frame_name(func)} ({ncalls} calls)"
+        for func, (_cc, ncalls, tottime, _ct, _callers) in rows
+    ]
+
+
+def profile_experiment(name: str, out_dir: Path = Path(".")) -> Dict[str, Path]:
+    """Profile one experiment driver end to end (serial, fresh cache).
+
+    The run uses a memory-only result cache: profiling a cache replay
+    would measure JSON parsing, not the simulator.
+    """
+    from ..experiments.registry import EXPERIMENTS, run_experiment
+    from ..experiments.runner import ExperimentSettings, Runner
+    from dataclasses import replace
+
+    if name not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; see `python -m repro.experiments list`"
+        )
+    settings = replace(ExperimentSettings.from_env(), cache_dir=None, jobs=1)
+    runner = Runner(settings)
+    return profile_callable(
+        lambda: run_experiment(name, runner=runner), name, out_dir
+    )
+
+
+def profile_scenario(name: str, out_dir: Path = Path(".")) -> Dict[str, Path]:
+    """Profile one pinned bench scenario round."""
+    from .scenarios import SCENARIOS
+
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}"
+        )
+    return profile_callable(scenario.round_fn, f"scenario-{name}", out_dir)

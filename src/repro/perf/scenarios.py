@@ -1,0 +1,179 @@
+"""The pinned benchmark scenario suite — one source of truth.
+
+Both consumers use exactly these definitions:
+
+* ``python -m repro.perf bench`` times each scenario's round callable
+  min-of-N and writes the rates into a ``BENCH_<n>.json`` artifact;
+* ``benchmarks/test_simulator_speed.py`` wraps the same callables in
+  pytest-benchmark and (only under ``REPRO_BENCH_STRICT=1``) asserts
+  the throughput floors declared here.
+
+Keeping work sizes, machine scale and floors in this one block means a
+floor can never drift away from what the continuous-benchmark
+trajectory measures.  Scenario *identity* is load-bearing: renaming a
+scenario orphans its history in every ``BENCH_*.json``, so add new
+names instead of repurposing old ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from .phase import PhaseTimer
+
+#: machine scale every scenario simulates at (mirrors the experiment
+#: default: an eighth-sized hierarchy with all capacity ratios intact).
+SCALE = 0.0625
+
+#: instructions simulated per access-loop round (2 cores x quota).
+ACCESS_LOOP_INSTRUCTIONS = 40_000
+#: trace records generated per trace-generator round.
+TRACE_GEN_RECORDS = 50_000
+#: accesses issued per cache-array round.
+CACHE_ARRAY_ACCESSES = 50_000
+
+#: throughput floors (units/second) enforced by the strict benchmarks —
+#: loose enough for any reasonable machine, tight enough to catch a
+#: 2x hot-path regression.
+FLOOR_ACCESS_LOOP = 30_000.0
+FLOOR_TRACE_GEN = 200_000.0
+FLOOR_CACHE_ARRAY = 200_000.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One pinned benchmark workload.
+
+    ``round_fn`` performs one full round of work and returns the number
+    of work units completed (the timed rate is ``work / elapsed``).
+    ``floor`` is the strict-mode units/second floor; ``metric`` names
+    the rate unit in artifacts and reports.
+    """
+
+    name: str
+    metric: str
+    work: int
+    floor: float
+    round_fn: Callable[[], int]
+    description: str = ""
+
+
+def _access_loop_round(phase_timer: Optional[PhaseTimer] = None) -> int:
+    """Simulate 40k instructions of MIX_10 through the full hierarchy."""
+    from repro import CMPSimulator, SimConfig, baseline_hierarchy
+    from repro.workloads import mix_by_name
+
+    reference = baseline_hierarchy(2, scale=SCALE)
+    config = SimConfig(
+        hierarchy=baseline_hierarchy(2, scale=SCALE),
+        instruction_quota=ACCESS_LOOP_INSTRUCTIONS // 2,
+    )
+    result = CMPSimulator(
+        config,
+        mix_by_name("MIX_10").traces(reference),
+        phase_timer=phase_timer,
+    ).run()
+    return result.total_instructions
+
+
+def access_loop_round() -> int:
+    return _access_loop_round()
+
+
+def access_loop_null_timer_round() -> int:
+    """Same work with a constructed-but-disabled PhaseTimer attached.
+
+    The rate delta against ``access_loop`` *is* the disabled-timer cost
+    the acceptance gate bounds at < 2 %.
+    """
+    return _access_loop_round(phase_timer=PhaseTimer(enabled=False))
+
+
+def access_loop_phases_round() -> int:
+    """Same work with an enabled PhaseTimer (instrumentation cost)."""
+    return _access_loop_round(phase_timer=PhaseTimer())
+
+
+def trace_gen_round() -> int:
+    """Generate 50k trace records (the numpy-batched path)."""
+    from repro import baseline_hierarchy
+    from repro.workloads import take
+    from repro.workloads.spec import app_trace
+
+    reference = baseline_hierarchy(2, scale=SCALE)
+    records = take(app_trace("lib", reference=reference), TRACE_GEN_RECORDS)
+    return len(records)
+
+
+def cache_array_round() -> int:
+    """A tight fill/access churn loop on one 1024-line cache array."""
+    from repro.cache import Cache
+    from repro.config import CacheConfig
+
+    # Cycle over 500 lines inside a 1024-line cache: mostly hits after
+    # the first pass, exercising both the hit and fill paths.
+    addresses = list(
+        itertools.islice(itertools.cycle(range(500)), CACHE_ARRAY_ACCESSES)
+    )
+    cache = Cache(CacheConfig(64 * 1024, 16, name="bench"))
+    count = 0
+    for address in addresses:
+        if not cache.access(address):
+            cache.fill(address)
+        count += 1
+    return count
+
+
+#: the pinned suite, in execution order.
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="access_loop",
+            metric="instructions_per_s",
+            work=ACCESS_LOOP_INSTRUCTIONS,
+            floor=FLOOR_ACCESS_LOOP,
+            round_fn=access_loop_round,
+            description="full-hierarchy CMP simulation of MIX_10",
+        ),
+        Scenario(
+            name="access_loop_null_timer",
+            metric="instructions_per_s",
+            work=ACCESS_LOOP_INSTRUCTIONS,
+            floor=FLOOR_ACCESS_LOOP,
+            round_fn=access_loop_null_timer_round,
+            description="access loop with a disabled PhaseTimer attached",
+        ),
+        Scenario(
+            name="access_loop_phases",
+            metric="instructions_per_s",
+            # No floor: enabled instrumentation is allowed to cost; the
+            # trajectory still records how much.
+            work=ACCESS_LOOP_INSTRUCTIONS,
+            floor=0.0,
+            round_fn=access_loop_phases_round,
+            description="access loop with an enabled PhaseTimer",
+        ),
+        Scenario(
+            name="trace_gen",
+            metric="records_per_s",
+            work=TRACE_GEN_RECORDS,
+            floor=FLOOR_TRACE_GEN,
+            round_fn=trace_gen_round,
+            description="batched synthetic trace generation",
+        ),
+        Scenario(
+            name="cache_array",
+            metric="accesses_per_s",
+            work=CACHE_ARRAY_ACCESSES,
+            floor=FLOOR_CACHE_ARRAY,
+            round_fn=cache_array_round,
+            description="single cache array fill/access churn",
+        ),
+    )
+}
+
+#: names in suite order, for deterministic artifact layout.
+SCENARIO_ORDER: Tuple[str, ...] = tuple(SCENARIOS)

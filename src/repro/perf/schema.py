@@ -1,0 +1,81 @@
+"""The ``BENCH_<n>.json`` artifact schema and its validator.
+
+A bench artifact is one point on the repo's performance trajectory:
+an environment fingerprint plus the measured rate of every pinned
+scenario.  The schema is enforced on *write* (``repro.perf.bench``
+refuses to produce an invalid artifact) and re-checked in CI via
+``python -m repro.perf validate``, so trajectory files can always be
+compared mechanically.
+
+Reuses the dependency-free JSON-Schema subset validator from
+:mod:`repro.telemetry.schema` (same toolchain constraint: the repo
+runs on a bare pytest+numpy image).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..telemetry.schema import check
+
+#: bump when the artifact layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+BENCH_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["schema", "fingerprint", "scenarios"],
+    "properties": {
+        "schema": {"type": "integer", "minimum": 1},
+        "fingerprint": {
+            "type": "object",
+            "required": ["python", "platform", "cpu_count", "version"],
+            "properties": {
+                "python": {"type": "string"},
+                "implementation": {"type": "string"},
+                "platform": {"type": "string"},
+                "cpu_count": {"type": "integer", "minimum": 1},
+                "commit": {"type": "string"},
+                "version": {"type": "string"},
+                "quick": {"type": "boolean"},
+            },
+        },
+        "scenarios": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "metric", "work", "value", "runs"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "metric": {"type": "string"},
+                    "work": {"type": "integer", "minimum": 1},
+                    # best (min-of-N elapsed -> max) rate in units/second.
+                    "value": {"type": "number", "minimum": 0},
+                    "best_s": {"type": "number", "minimum": 0},
+                    # every timed round's rate, in execution order.
+                    "runs": {"type": "array", "items": {"type": "number"}},
+                    "rounds": {"type": "integer", "minimum": 1},
+                    "floor": {"type": "number", "minimum": 0},
+                    "extra": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+
+def validate_bench_dict(data: object) -> List[str]:
+    """Validate an in-memory bench artifact; returns error strings."""
+    return check(data, BENCH_SCHEMA)
+
+
+def validate_bench(path: Union[str, Path]) -> List[str]:
+    """Validate a ``BENCH_*.json`` file on disk."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except ValueError as exc:
+        return [f"invalid JSON: {exc}"]
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    return validate_bench_dict(data)

@@ -96,6 +96,32 @@ def build_chrome_trace(jobs: List[dict]) -> Dict:
                 },
             }
         )
+        # Host phase sub-spans (repro.perf.PhaseTimer): exclusive
+        # per-phase totals laid out back to back inside the job span.
+        # They sum to (almost exactly) the job's wall time, so Chrome
+        # tracing nests them under the job as a one-level flame row;
+        # only their widths are meaningful, not their order.
+        host_phases = (job.get("host") or {}).get("phases") or {}
+        offset = job["start"]
+        for name, digest in sorted(
+            host_phases.items(), key=lambda kv: -float(kv[1].get("s", 0.0))
+        ):
+            seconds = float(digest.get("s", 0.0))
+            if seconds <= 0.0:
+                continue
+            trace_events.append(
+                {
+                    "name": name,
+                    "cat": "host_phase",
+                    "ph": "X",
+                    "ts": offset * 1e6,
+                    "dur": seconds * 1e6,
+                    "pid": SWEEP_PID,
+                    "tid": job["lane"],
+                    "args": {"count": int(digest.get("count", 0))},
+                }
+            )
+            offset += seconds
     pid = JOB_PID_BASE
     for job in executed:
         phases = (job.get("telemetry") or {}).get("core_phases") or []
@@ -201,6 +227,7 @@ class RunTelemetry:
         end: float,
         telemetry: Optional[Dict] = None,
         error: Optional[str] = None,
+        host: Optional[Dict] = None,
     ) -> None:
         row = {
             "key": key,
@@ -218,6 +245,12 @@ class RunTelemetry:
                 row["cpu_s"] = float(telemetry["cpu_s"])
             if "recorded" in telemetry:
                 row["events"] = int(telemetry["recorded"])
+        if host:
+            # host-performance digest from repro.perf (wall seconds,
+            # simulated-work rates, optional phase report).
+            row["host"] = host
+            if "cpu_s" not in row and "cpu_s" in host:
+                row["cpu_s"] = float(host["cpu_s"])
         if error is not None:
             row["error"] = error
         self.jobs.append(row)
@@ -233,7 +266,7 @@ class RunTelemetry:
                 "cached": job["cached"],
                 "attempts": job["attempts"],
             }
-            for key in ("wall_s", "cpu_s", "events", "error"):
+            for key in ("wall_s", "cpu_s", "events", "error", "host"):
                 if key in job:
                     row[key] = job[key]
             jobs.append(row)

@@ -38,16 +38,24 @@ class StructuredLogger:
         level: Optional[int] = None,
     ) -> None:
         self.name = name
-        self.stream = stream if stream is not None else sys.stderr
+        # None means "whatever sys.stderr is at write time": module-level
+        # loggers outlive stderr redirections (pytest capture, CLI
+        # wrappers), so the default must not be frozen at import.
+        self._stream = stream
         self.level = level if level is not None else level_from_env()
+
+    @property
+    def stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stderr
 
     def log(self, level: str, event: str, **fields) -> None:
         if LEVELS[level] < self.level:
             return
         record = {"level": level, "logger": self.name, "event": event}
         record.update(fields)
-        self.stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
-        self.stream.flush()
+        stream = self.stream
+        stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        stream.flush()
 
     def debug(self, event: str, **fields) -> None:
         self.log("debug", event, **fields)

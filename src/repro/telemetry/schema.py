@@ -92,6 +92,7 @@ RUN_MANIFEST_SCHEMA: Dict = {
                     "cpu_s": {"type": "number", "minimum": 0},
                     "error": {"type": "string"},
                     "events": {"type": "integer", "minimum": 0},
+                    "host": {"type": "object"},
                 },
             },
         },

@@ -152,3 +152,35 @@ class TestEmission:
         reporter.update(completed=5, failed=0, running=0, workers=4)
         final = stream.getvalue().split("\r")[-1]
         assert len(final) >= len(long_line)  # stale tail blanked out
+
+
+class _Summary:
+    def __init__(self, host=None, telemetry=None):
+        self.host = host
+        self.telemetry = telemetry
+
+
+class TestLiveHostRate:
+    def make(self, now):
+        reporter = ProgressReporter(
+            stream=io.StringIO(), enabled=True, clock=lambda: now[0]
+        )
+        reporter.start(4)
+        return reporter
+
+    def test_sim_instruction_rate_rendered(self):
+        now = [0.0]
+        reporter = self.make(now)
+        reporter.note_result(_Summary(host={"instructions": 40_000}))
+        reporter.note_result(_Summary(host={"instructions": 60_000}))
+        now[0] = 2.0
+        line = reporter.render(completed=2, failed=0, running=0, workers=1)
+        assert "sim-instr/s=50k" in line
+
+    def test_no_rate_without_host_digests(self):
+        now = [0.0]
+        reporter = self.make(now)
+        reporter.note_result(_Summary(host=None))  # cached job
+        now[0] = 2.0
+        line = reporter.render(completed=1, failed=0, running=0, workers=1)
+        assert "sim-instr/s" not in line

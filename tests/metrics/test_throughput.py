@@ -14,6 +14,7 @@ from repro.metrics import (
     throughput,
     weighted_speedup,
 )
+from repro.metrics.throughput import aggregate_host, host_rate
 
 
 class TestThroughput:
@@ -105,3 +106,77 @@ class TestCacheMetrics:
 
     def test_miss_reduction_negative_means_regression(self):
         assert miss_reduction(100, 120) == pytest.approx(-0.2)
+
+
+class TestHostRate:
+    def test_plain_rate(self):
+        assert host_rate(40_000, 2.0) == pytest.approx(20_000.0)
+
+    def test_zero_duration_is_no_rate_not_a_crash(self):
+        assert host_rate(40_000, 0.0) == 0.0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ConfigurationError):
+            host_rate(-1, 1.0)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            host_rate(1, -1.0)
+
+
+class TestAggregateHost:
+    def digest(self, instructions=10_000, accesses=12_000, wall=0.5):
+        return {
+            "wall_s": wall,
+            "job_wall_s": wall,
+            "instructions": instructions,
+            "accesses": accesses,
+            "instructions_per_s": instructions / wall,
+            "accesses_per_s": accesses / wall,
+        }
+
+    def test_rates_recomputed_from_totals(self):
+        aggregate = aggregate_host([self.digest(), self.digest()])
+        assert aggregate["jobs"] == 2
+        assert aggregate["instructions"] == 20_000
+        assert aggregate["busy_s"] == pytest.approx(1.0)
+        assert aggregate["instructions_per_s"] == pytest.approx(20_000.0)
+        assert aggregate["accesses_per_s"] == pytest.approx(24_000.0)
+
+    def test_none_digests_skipped(self):
+        """Cached summaries carry ``host=None`` and must not distort rates."""
+        aggregate = aggregate_host([None, self.digest(), None, {}])
+        assert aggregate["jobs"] == 1
+        assert aggregate["instructions_per_s"] == pytest.approx(20_000.0)
+
+    def test_empty_sweep_has_zero_rates(self):
+        aggregate = aggregate_host([])
+        assert aggregate["jobs"] == 0
+        assert aggregate["instructions_per_s"] == 0.0
+
+    def test_utilisation_across_workers(self):
+        # 2 jobs x 0.5s busy on 2 workers over 1s wall = 50% utilised.
+        aggregate = aggregate_host(
+            [self.digest(), self.digest()], workers=2, wall_s=1.0
+        )
+        assert aggregate["utilisation"] == pytest.approx(0.5)
+
+    def test_utilisation_clamped_to_one(self):
+        aggregate = aggregate_host(
+            [self.digest(wall=5.0)], workers=1, wall_s=1.0
+        )
+        assert aggregate["utilisation"] == 1.0
+
+    def test_falls_back_to_sim_wall_when_job_wall_missing(self):
+        digest = self.digest()
+        del digest["job_wall_s"]
+        aggregate = aggregate_host([digest])
+        assert aggregate["busy_s"] == pytest.approx(0.5)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_host([], workers=0)
+
+    def test_negative_wall_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_host([], wall_s=-1.0)

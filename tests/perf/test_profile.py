@@ -1,0 +1,103 @@
+"""Hotspot profiler: collapsed stacks, artifacts, error paths."""
+
+import cProfile
+import pstats
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.profile import (
+    collapse_stats,
+    profile_callable,
+    profile_scenario,
+    top_hotspots,
+)
+
+
+def _busy_leaf(n=20_000):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def _busy_caller():
+    return _busy_leaf() + _busy_leaf()
+
+
+def _profiled_stats():
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        _busy_caller()
+    finally:
+        profiler.disable()
+    return pstats.Stats(profiler)
+
+
+class TestCollapseStats:
+    def test_lines_have_stack_and_count(self):
+        lines = collapse_stats(_profiled_stats())
+        assert lines
+        for line in lines:
+            stack, _, samples = line.rpartition(" ")
+            assert stack
+            assert int(samples) > 0
+
+    def test_leaf_is_attributed_under_its_caller(self):
+        lines = collapse_stats(_profiled_stats())
+        leaf_lines = [line for line in lines if "_busy_leaf" in line]
+        assert leaf_lines
+        # The heaviest-caller chain puts _busy_caller above the leaf.
+        assert any("_busy_caller;" in line for line in leaf_lines)
+
+    def test_zero_self_time_dropped(self):
+        stats = _profiled_stats()
+        entries = stats.stats
+        rendered = "\n".join(collapse_stats(stats, unit=1.0))
+        for func, (_cc, _nc, tottime, _ct, _callers) in entries.items():
+            if int(round(tottime)) <= 0:
+                # sub-second functions collapse to zero samples at
+                # 1 s resolution and must not appear.
+                assert f"{func[2]} 0" not in rendered
+
+
+class TestProfileCallable:
+    def test_writes_both_artifacts(self, tmp_path):
+        paths = profile_callable(_busy_caller, "unit", tmp_path)
+        assert paths["pstats"].exists()
+        assert paths["collapsed"].exists()
+        assert paths["pstats"].name == "profile-unit.pstats"
+        collapsed = paths["collapsed"].read_text()
+        assert "_busy_leaf" in collapsed
+
+    def test_top_hotspots_readable(self, tmp_path):
+        paths = profile_callable(_busy_caller, "unit", tmp_path)
+        rows = top_hotspots(paths["pstats"], count=5)
+        assert 0 < len(rows) <= 5
+        assert any("_busy_leaf" in row for row in rows)
+
+    def test_profile_survives_raising_callable(self, tmp_path):
+        def boom():
+            _busy_leaf()
+            raise RuntimeError("mid-profile failure")
+
+        with pytest.raises(RuntimeError):
+            profile_callable(boom, "boom", tmp_path)
+
+
+class TestEntryPoints:
+    def test_unknown_scenario_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            profile_scenario("no_such_scenario", tmp_path)
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        from repro.perf.profile import profile_experiment
+
+        with pytest.raises(ConfigurationError):
+            profile_experiment("no_such_experiment", tmp_path)
+
+    def test_scenario_profile_writes_artifacts(self, tmp_path):
+        paths = profile_scenario("cache_array", tmp_path)
+        assert paths["pstats"].exists()
+        assert "scenario-cache_array" in paths["collapsed"].name

@@ -124,6 +124,49 @@ class TestChromeTrace:
         trace = build_chrome_trace(_telemetry_with_jobs().jobs)
         assert check(trace, CHROME_TRACE_SCHEMA) == []
 
+    def test_host_phase_sub_spans_nest_inside_the_job_span(self):
+        telemetry = RunTelemetry(TelemetryConfig(enabled=True))
+        telemetry.note_executed(
+            "hostkey",
+            "MIX_10/inclusive/none",
+            "done",
+            attempts=1,
+            start=2.0,
+            end=3.0,
+            host={
+                "wall_s": 0.9,
+                "phases": {
+                    "sim_loop": {"s": 0.2, "count": 1},
+                    "l1_access": {"s": 0.6, "count": 40_000},
+                    "idle_phase": {"s": 0.0, "count": 1},  # zero: dropped
+                },
+            },
+        )
+        trace = build_chrome_trace(telemetry.jobs)
+        host_spans = [
+            event
+            for event in trace["traceEvents"]
+            if event.get("cat") == "host_phase"
+        ]
+        # Widest phase first, laid back to back from the job start.
+        assert [span["name"] for span in host_spans] == [
+            "l1_access", "sim_loop",
+        ]
+        assert host_spans[0]["ts"] == 2.0e6
+        assert host_spans[0]["dur"] == 0.6e6
+        assert host_spans[1]["ts"] == 2.6e6
+        assert host_spans[0]["args"]["count"] == 40_000
+        job_span = next(
+            event
+            for event in trace["traceEvents"]
+            if event.get("cat") == "job"
+        )
+        # Same lane as the job, and contained within its span.
+        assert host_spans[0]["tid"] == job_span["tid"]
+        total = sum(span["dur"] for span in host_spans)
+        assert total <= job_span["dur"]
+        assert check(trace, CHROME_TRACE_SCHEMA) == []
+
 
 class TestWriteAndValidate:
     def test_write_emits_both_artefacts_and_they_validate(self, tmp_path):

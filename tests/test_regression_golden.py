@@ -99,3 +99,45 @@ class TestTelemetryDoesNotPerturb:
 
     def test_untraced_result_exposes_no_intervals(self, golden_run):
         assert golden_run.intervals is None
+
+
+class TestPhaseTimerDoesNotPerturb:
+    """Host-side phase timing observes the simulator, not the simulated
+    machine: every golden number must hold with the timer enabled."""
+
+    @pytest.fixture(scope="class")
+    def timed_run(self):
+        from repro.perf import PhaseTimer
+
+        reference = baseline_hierarchy(2, scale=SCALE)
+        config = SimConfig(
+            hierarchy=baseline_hierarchy(2, scale=SCALE),
+            instruction_quota=QUOTA,
+            warmup_instructions=WARMUP,
+        )
+        return CMPSimulator(
+            config,
+            mix_by_name("MIX_10").traces(reference),
+            phase_timer=PhaseTimer(),
+        ).run()
+
+    def test_golden_numbers_unchanged_under_phase_timing(
+        self, timed_run, golden_run
+    ):
+        assert timed_run.total_inclusion_victims == GOLDEN_VICTIMS
+        assert timed_run.total_llc_misses == GOLDEN_LLC_MISSES
+        assert timed_run.ipcs == golden_run.ipcs
+        assert timed_run.traffic == golden_run.traffic
+        assert timed_run.llc_stats == golden_run.llc_stats
+        assert [c.stats for c in timed_run.cores] == [
+            c.stats for c in golden_run.cores
+        ]
+
+    def test_all_simulator_phases_fired(self, timed_run):
+        # This config produces inclusion victims (GOLDEN_VICTIMS > 0),
+        # so even the back-invalidate phase must have been entered.
+        from repro.perf import SIMULATOR_PHASES
+
+        phases = timed_run.host["phases"]
+        for name in SIMULATOR_PHASES:
+            assert phases[name]["count"] >= 1, name
