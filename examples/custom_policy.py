@@ -89,8 +89,8 @@ class PinnedLinesTLA(TLAPolicy):
         llc = self._require_hierarchy().llc
         rejected = set()
         while len(rejected) < llc.associativity:
-            way, line = llc.select_victim(set_index, exclude_ways=rejected)
-            if not line.valid or line.line_addr not in self.pinned:
+            way, victim_addr = llc.select_victim(set_index, exclude_ways=rejected)
+            if victim_addr is None or victim_addr not in self.pinned:
                 return way
             llc.promote_way(set_index, way)
             self.pins_honoured += 1

@@ -1,16 +1,18 @@
 """Set-associative cache substrate with pluggable replacement policies.
 
 This package is the storage layer the hierarchy controllers are built
-on: :class:`~repro.cache.cache.Cache` models one cache array (tags,
-valid/dirty bits, per-set replacement state), and
+on: :class:`~repro.cache.cache.Cache` models one cache array as a
+packed struct-of-arrays tag store (flat line-address array, valid and
+dirty bitmaps, one address->way map), and
 :mod:`repro.cache.replacement` provides the replacement policies the
 paper uses (LRU in the core caches, NRU at the LLC) plus several more
 for the footnote-4 ablation (SRRIP/BRRIP/DRRIP, FIFO, PLRU, LIP,
-random).
+random) — all with their per-way state packed into flat arrays
+indexed ``set_index * associativity + way``.
 """
 
-from .line import CacheLine, EvictedLine
-from .cache import Cache
+from .line import EvictedLine
+from .cache import Cache, CacheArrayStats
 from .victim_cache import VictimCache
 from .replacement import (
     ReplacementPolicy,
@@ -20,7 +22,7 @@ from .replacement import (
 
 __all__ = [
     "Cache",
-    "CacheLine",
+    "CacheArrayStats",
     "EvictedLine",
     "VictimCache",
     "ReplacementPolicy",

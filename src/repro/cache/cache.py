@@ -1,9 +1,21 @@
-"""A single set-associative cache array.
+"""A single set-associative cache array over a packed tag store.
 
-:class:`Cache` owns the tag store (valid/dirty bits per way) and a
-replacement-policy instance.  It deliberately knows nothing about the
-hierarchy: controllers in :mod:`repro.hierarchy` compose caches and
-decide what happens on misses, evictions and back-invalidations.
+:class:`Cache` owns the tag store and a replacement-policy instance.
+It deliberately knows nothing about the hierarchy: controllers in
+:mod:`repro.hierarchy` compose caches and decide what happens on
+misses, evictions and back-invalidations.
+
+The tag store is a struct-of-arrays, not objects-per-line:
+
+* ``_addrs`` — ``array('q')``, the line address held by each slot;
+* ``_valid`` / ``_dirty`` — flat ``bytearray`` bitmaps;
+* ``_map`` — one dict mapping resident line address -> way index
+  (a line address determines its set, so one flat map suffices and a
+  lookup needs no set-index hash at all).
+
+Slots are flat-indexed: slot of (set, way) is
+``set_index * associativity + way``.  Replacement policies pack their
+per-way state the same way (see :mod:`repro.cache.replacement`).
 
 Two levels of API are exposed:
 
@@ -13,34 +25,50 @@ Two levels of API are exposed:
   :meth:`select_victim`, :meth:`evict_way`, :meth:`fill_way` — which
   lets TLA controllers interpose on LLC victim selection (QBS walks
   candidates, ECI peeks at the next victim).
+
+Probes into individual slots go through the index-based accessors
+:meth:`valid_at` / :meth:`dirty_at` / :meth:`addr_at` (there is no
+per-line object to hand out).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from array import array
 from typing import Collection, Dict, Iterator, List, Optional, Tuple
 
 from ..config import CacheConfig
 from ..errors import SimulationError
-from .line import CacheLine, EvictedLine
+from .line import EvictedLine
 from .replacement import ReplacementPolicy, make_policy
+from .replacement.lru import LRUPolicy
 
 
-@dataclass
 class CacheArrayStats:
-    """Raw event counters for one cache array."""
+    """Raw event counters for one cache array.
 
-    hits: int = 0
-    misses: int = 0
-    fills: int = 0
-    evictions: int = 0
-    dirty_evictions: int = 0
-    invalidations: int = 0
-    dirty_invalidations: int = 0
-    promotions: int = 0
+    A plain ``__slots__`` class (not a dataclass): the hit/miss
+    counters sit on the access fast path, and fixed slots keep the
+    increments cheap while refusing stray attributes.
+    """
+
+    FIELDS = (
+        "hits",
+        "misses",
+        "fills",
+        "evictions",
+        "dirty_evictions",
+        "invalidations",
+        "dirty_invalidations",
+        "promotions",
+    )
+
+    __slots__ = FIELDS
+
+    def __init__(self) -> None:
+        self.reset()
 
     def reset(self) -> None:
-        for name in self.__dataclass_fields__:
+        for name in self.FIELDS:
             setattr(self, name, 0)
 
     @property
@@ -53,7 +81,16 @@ class CacheArrayStats:
         return self.hits / total if total else 0.0
 
     def snapshot(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheArrayStats):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"CacheArrayStats({fields})"
 
 
 class Cache:
@@ -83,12 +120,37 @@ class Cache:
                 f"{self.policy.associativity} does not match cache geometry "
                 f"{self.num_sets}x{self.associativity}"
             )
-        self._lines: List[CacheLine] = [
-            CacheLine() for _ in range(self.num_sets * self.associativity)
-        ]
-        # Per-set map: line address -> way index.
-        self._maps: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        slots = self.num_sets * self.associativity
+        # Packed tag store: slot = set_index * associativity + way.
+        self._addrs = array("q", bytes(8 * slots))
+        self._valid = bytearray(slots)
+        self._dirty = bytearray(slots)
+        # Resident line address -> way (the address fixes the set).
+        self._map: Dict[int, int] = {}
+        #: pre-bound probe — the map is only ever mutated in place, so
+        #: binding ``dict.get`` once saves a method bind per access.
+        self._map_get = self._map.get
+        #: recency-stamp hits can be applied inline (no policy call)
+        #: when the policy uses the stock LRU-family hit update.
+        self._lru_hit_fast = (
+            isinstance(self.policy, LRUPolicy)
+            and type(self.policy).on_hit is LRUPolicy.on_hit
+        )
         self.stats = CacheArrayStats()
+        # Shadow ``access`` with a closure specialised for the stock
+        # LRU-family / un-hashed-index configuration: every container
+        # it touches (residency map, stamp and clock arrays, dirty
+        # bitmap, stats object) is only ever mutated in place, so they
+        # can be captured once instead of re-resolved per probe.  The
+        # class attribute stays ``Cache.access`` (the core's inline
+        # burst loop keys its fast-path gate on that identity) and the
+        # generic method remains the behavioural reference.
+        if (
+            type(self).access is Cache.access
+            and self._lru_hit_fast
+            and not self._index_hash
+        ):
+            self.access = self._make_lru_access()
 
     # -- geometry helpers ---------------------------------------------------
     def set_index_of(self, line_addr: int) -> int:
@@ -100,32 +162,61 @@ class Cache:
             )
         return line_addr & self._set_mask
 
-    def line_at(self, set_index: int, way: int) -> CacheLine:
-        return self._lines[set_index * self.associativity + way]
-
     # -- probes (no state change) --------------------------------------------
     def way_of(self, line_addr: int) -> Optional[int]:
         """Return the way holding ``line_addr`` or ``None`` (pure probe)."""
-        return self._maps[self.set_index_of(line_addr)].get(line_addr)
+        return self._map.get(line_addr)
 
     def contains(self, line_addr: int) -> bool:
-        return line_addr in self._maps[self.set_index_of(line_addr)]
+        return line_addr in self._map
 
     def is_dirty(self, line_addr: int) -> bool:
-        way = self.way_of(line_addr)
+        way = self._map.get(line_addr)
         if way is None:
             return False
-        return self.line_at(self.set_index_of(line_addr), way).dirty
+        # One set-index computation total (way_of above is hash-free).
+        return bool(
+            self._dirty[self.set_index_of(line_addr) * self.associativity + way]
+        )
+
+    def valid_at(self, set_index: int, way: int) -> bool:
+        """Does the slot ``(set_index, way)`` hold a line?"""
+        return bool(self._valid[set_index * self.associativity + way])
+
+    def dirty_at(self, set_index: int, way: int) -> bool:
+        """Is the line in slot ``(set_index, way)`` dirty?"""
+        return bool(self._dirty[set_index * self.associativity + way])
+
+    def addr_at(self, set_index: int, way: int) -> Optional[int]:
+        """Line address held by ``(set_index, way)``, or None if invalid."""
+        slot = set_index * self.associativity + way
+        return self._addrs[slot] if self._valid[slot] else None
+
+    def map_items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(line_addr, way)`` pairs of the residency map.
+
+        The probe surface CacheSan's tag-store checker audits against
+        the valid bitmap; insertion (fill) order.
+        """
+        return iter(self._map.items())
 
     # -- the simple path -------------------------------------------------------
     def access(self, line_addr: int, write: bool = False) -> bool:
         """Demand access; returns True on hit and updates replacement state.
 
         This is the simulator's hottest function (every L1/L2/LLC probe
-        lands here), so the set-index computation is inlined rather
-        than calling :meth:`set_index_of` — same arithmetic, one Python
-        call and a handful of attribute loads fewer per access.
+        lands here).  The residency map is consulted *first* so misses
+        — the common case in the lower levels — pay one dict probe and
+        no set-index arithmetic at all; the set index is computed
+        inline (not via :meth:`set_index_of`) only on hits, and the
+        stock LRU-family stamp refresh is applied inline rather than
+        through a ``policy.on_hit`` call.
         """
+        way = self._map_get(line_addr)
+        if way is None:
+            self.stats.misses += 1
+            return False
+        self.stats.hits += 1
         if self._index_hash:
             set_bits = self._set_bits
             set_index = (
@@ -135,36 +226,82 @@ class Cache:
             ) & self._set_mask
         else:
             set_index = line_addr & self._set_mask
-        way = self._maps[set_index].get(line_addr)
-        if way is None:
-            self.stats.misses += 1
-            return False
-        self.stats.hits += 1
-        self.policy.on_hit(set_index, way)
+        policy = self.policy
+        if self._lru_hit_fast:
+            # Mirrors LRUPolicy.on_hit exactly (including the
+            # last_hit_was_mru flag TLH's MRU filter reads).
+            stamp = policy._stamp
+            slot = set_index * self.associativity + way
+            top = policy._clock[set_index]
+            if stamp[slot] == top:
+                policy.last_hit_was_mru = True
+            else:
+                policy.last_hit_was_mru = False
+                top += 1
+                policy._clock[set_index] = top
+                stamp[slot] = top
+        else:
+            policy.on_hit(set_index, way)
         if write:
-            self._lines[set_index * self.associativity + way].dirty = True
+            self._dirty[set_index * self.associativity + way] = 1
         return True
+
+    def _make_lru_access(self):
+        """Build the specialised demand-access closure (see __init__).
+
+        Semantically identical to :meth:`access` with the stock LRU hit
+        update inlined and the index hash disabled; every captured
+        object is mutated in place for the cache's lifetime.
+        """
+        map_get = self._map.get
+        stats = self.stats
+        set_mask = self._set_mask
+        assoc = self.associativity
+        policy = self.policy
+        stamp = policy._stamp
+        clock = policy._clock
+        dirty = self._dirty
+
+        def access(line_addr: int, write: bool = False) -> bool:
+            way = map_get(line_addr)
+            if way is None:
+                stats.misses += 1
+                return False
+            stats.hits += 1
+            set_index = line_addr & set_mask
+            slot = set_index * assoc + way
+            top = clock[set_index]
+            if stamp[slot] == top:
+                policy.last_hit_was_mru = True
+            else:
+                policy.last_hit_was_mru = False
+                top += 1
+                clock[set_index] = top
+                stamp[slot] = top
+            if write:
+                dirty[slot] = 1
+            return True
+
+        return access
 
     def promote(self, line_addr: int) -> bool:
         """Refresh a line toward MRU without a demand access (TLH/QBS).
 
         Returns False (and does nothing) if the line is absent.
         """
-        set_index = self.set_index_of(line_addr)
-        way = self._maps[set_index].get(line_addr)
+        way = self._map.get(line_addr)
         if way is None:
             return False
-        self.policy.promote(set_index, way)
+        self.policy.promote(self.set_index_of(line_addr), way)
         self.stats.promotions += 1
         return True
 
     def set_dirty(self, line_addr: int) -> bool:
         """Mark a resident line dirty (e.g. a writeback landing here)."""
-        set_index = self.set_index_of(line_addr)
-        way = self._maps[set_index].get(line_addr)
+        way = self._map.get(line_addr)
         if way is None:
             return False
-        self.line_at(set_index, way).dirty = True
+        self._dirty[self.set_index_of(line_addr) * self.associativity + way] = 1
         return True
 
     def fill(
@@ -181,10 +318,10 @@ class Cache:
         merges the dirty bit instead of duplicating it.
         """
         set_index = self.set_index_of(line_addr)
-        existing = self._maps[set_index].get(line_addr)
+        existing = self._map.get(line_addr)
         if existing is not None:
-            line = self.line_at(set_index, existing)
-            line.dirty = line.dirty or dirty
+            if dirty:
+                self._dirty[set_index * self.associativity + existing] = 1
             self.policy.on_hit(set_index, existing)
             return None
         victim: Optional[EvictedLine] = None
@@ -201,13 +338,14 @@ class Cache:
         Used for back-invalidations (inclusion), early core
         invalidations (ECI) and exclusive-hierarchy hit-invalidates.
         """
-        set_index = self.set_index_of(line_addr)
-        way = self._maps[set_index].pop(line_addr, None)
+        way = self._map.pop(line_addr, None)
         if way is None:
             return None
-        line = self.line_at(set_index, way)
-        dropped = EvictedLine(line.line_addr, line.dirty)
-        line.invalidate()
+        set_index = self.set_index_of(line_addr)
+        slot = set_index * self.associativity + way
+        dropped = EvictedLine(line_addr, bool(self._dirty[slot]))
+        self._valid[slot] = 0
+        self._dirty[slot] = 0
         self.policy.on_invalidate(set_index, way)
         self.stats.invalidations += 1
         if dropped.dirty:
@@ -220,25 +358,33 @@ class Cache:
     ) -> Optional[int]:
         """Return an invalid way in the set, or None if all are valid."""
         base = set_index * self.associativity
+        if not exclude_ways:
+            # The valid bitmap is a bytearray, so the C-level scan for
+            # a zero byte replaces the Python per-way loop.
+            slot = self._valid.find(0, base, base + self.associativity)
+            return None if slot < 0 else slot - base
+        valid = self._valid
         for way in range(self.associativity):
             if way in exclude_ways:
                 continue
-            if not self._lines[base + way].valid:
+            if not valid[base + way]:
                 return way
         return None
 
     def select_victim(
         self, set_index: int, exclude_ways: Collection[int] = ()
-    ) -> Tuple[int, CacheLine]:
+    ) -> Tuple[int, Optional[int]]:
         """Ask the policy for a victim way; prefers invalid ways.
 
-        Returns ``(way, line)`` without evicting — QBS inspects the
-        line (and may promote it) before deciding.
+        Returns ``(way, line_addr)`` without evicting — ``line_addr``
+        is None when the way is invalid (no victim to displace).  QBS
+        inspects the candidate (and may promote it) before deciding.
         """
         way = self.find_invalid_way(set_index, exclude_ways)
         if way is None:
             way = self.policy.select_victim(set_index, exclude_ways)
-        return way, self.line_at(set_index, way)
+        slot = set_index * self.associativity + way
+        return way, (self._addrs[slot] if self._valid[slot] else None)
 
     def promote_way(self, set_index: int, way: int) -> None:
         """Promote a specific way (QBS sparing a resident victim)."""
@@ -247,14 +393,16 @@ class Cache:
 
     def evict_way(self, set_index: int, way: int) -> EvictedLine:
         """Evict the (valid) line in ``way``; returns what was evicted."""
-        line = self.line_at(set_index, way)
-        if not line.valid:
+        slot = set_index * self.associativity + way
+        if not self._valid[slot]:
             raise SimulationError(
                 f"{self.name}: evicting invalid way {way} of set {set_index}"
             )
-        evicted = EvictedLine(line.line_addr, line.dirty)
-        del self._maps[set_index][line.line_addr]
-        line.invalidate()
+        line_addr = self._addrs[slot]
+        evicted = EvictedLine(line_addr, bool(self._dirty[slot]))
+        del self._map[line_addr]
+        self._valid[slot] = 0
+        self._dirty[slot] = 0
         self.policy.on_invalidate(set_index, way)
         self.stats.evictions += 1
         if evicted.dirty:
@@ -265,8 +413,8 @@ class Cache:
         self, set_index: int, way: int, line_addr: int, dirty: bool = False
     ) -> None:
         """Install ``line_addr`` into a specific (invalid) way."""
-        line = self.line_at(set_index, way)
-        if line.valid:
+        slot = set_index * self.associativity + way
+        if self._valid[slot]:
             raise SimulationError(
                 f"{self.name}: filling over valid line in way {way} of set "
                 f"{set_index}; evict first"
@@ -275,38 +423,40 @@ class Cache:
             raise SimulationError(
                 f"{self.name}: line {line_addr:#x} does not map to set {set_index}"
             )
-        line.fill(line_addr, dirty)
-        self._maps[set_index][line_addr] = way
+        self._addrs[slot] = line_addr
+        self._valid[slot] = 1
+        self._dirty[slot] = 1 if dirty else 0
+        self._map[line_addr] = way
         self.policy.on_fill(set_index, way)
         self.stats.fills += 1
 
     # -- introspection ----------------------------------------------------------
     def resident_lines(self) -> Iterator[int]:
         """Yield every resident line address (order unspecified)."""
-        for set_map in self._maps:
-            yield from set_map
+        return iter(self._map)
 
     def occupancy(self) -> int:
         """Number of valid lines currently held."""
-        return sum(len(m) for m in self._maps)
+        return len(self._map)
 
     def set_occupancy(self, set_index: int) -> int:
-        return len(self._maps[set_index])
+        base = set_index * self.associativity
+        return self._valid.count(1, base, base + self.associativity)
 
     def flush(self) -> List[EvictedLine]:
         """Invalidate everything; returns dirty lines for writeback."""
         dirty: List[EvictedLine] = []
-        for line_addr in list(self.resident_lines()):
+        for line_addr in list(self._map):
             dropped = self.invalidate(line_addr)
             if dropped is not None and dropped.dirty:
                 dirty.append(dropped)
         return dirty
 
     def __len__(self) -> int:
-        return self.occupancy()
+        return len(self._map)
 
     def __contains__(self, line_addr: int) -> bool:
-        return self.contains(line_addr)
+        return line_addr in self._map
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

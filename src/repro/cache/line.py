@@ -1,49 +1,18 @@
-"""Cache-line bookkeeping objects.
+"""Boundary types for lines leaving a cache array.
 
-A :class:`CacheLine` is one way of one set.  Lines are identified by
-their *line address* (byte address right-shifted by the line shift);
-the tag/index split is handled by :class:`repro.cache.cache.Cache`, so
-a line simply remembers its full line address.
+The tag store itself is packed (see :mod:`repro.cache.cache`): line
+addresses live in a flat ``array('q')`` and valid/dirty state in flat
+``bytearray`` bitmaps, so there is no per-line object inside a cache.
+What crosses the cache boundary — an eviction or invalidation result
+handed to a hierarchy controller — is still a small immutable record,
+:class:`EvictedLine`, because controllers pass it around, compare it
+and stash it (victim caches, writeback paths) long after the slot it
+came from has been refilled.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-
-class CacheLine:
-    """One way of one cache set.
-
-    Attributes:
-        line_addr: full line address currently cached, meaningless when
-            ``valid`` is false.
-        valid: whether the way holds a line.
-        dirty: whether the line has been written since it was filled.
-    """
-
-    __slots__ = ("line_addr", "valid", "dirty")
-
-    def __init__(self) -> None:
-        self.line_addr = 0
-        self.valid = False
-        self.dirty = False
-
-    def fill(self, line_addr: int, dirty: bool = False) -> None:
-        """Install ``line_addr`` into this way."""
-        self.line_addr = line_addr
-        self.valid = True
-        self.dirty = dirty
-
-    def invalidate(self) -> None:
-        """Drop the line; dirty state is the caller's responsibility."""
-        self.valid = False
-        self.dirty = False
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        if not self.valid:
-            return "<CacheLine invalid>"
-        flag = "D" if self.dirty else "C"
-        return f"<CacheLine {self.line_addr:#x} {flag}>"
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,11 @@
-"""Abstract interface all replacement policies implement."""
+"""Abstract interface all replacement policies implement.
+
+Packed-state convention: concrete policies keep their per-way metadata
+in flat arrays (``array('q')`` stamps, ``bytearray`` bit fields)
+indexed ``set_index * associativity + way`` — matching the packed tag
+store in :class:`repro.cache.cache.Cache` — rather than one Python
+object or list per set.
+"""
 
 from __future__ import annotations
 

@@ -1,12 +1,26 @@
-"""Recency-stack policies: classic LRU, LIP (LRU-insertion), and MRU.
+"""Recency-stamp policies: classic LRU, LIP (LRU-insertion), and MRU.
 
-Each set keeps an explicit recency stack — a list of way indices with
-the MRU way at position 0 and the LRU way at the end.  Associativities
-in this study are small (4-16 ways), so list manipulation is cheap.
+The old implementation kept an explicit per-set recency stack (a list
+of way indices).  The packed form stores one signed 64-bit *stamp* per
+way in a flat ``array('q')`` — higher stamp means more recent — plus
+two per-set counters:
+
+* ``_clock[set]`` hands out increasing stamps for MRU placements
+  (fills, hits) and always equals the maximum stamp in the set;
+* ``_cold[set]`` hands out decreasing stamps for LRU-end placements
+  (LIP fills, invalidations).
+
+Stamps are pairwise distinct by construction, so sorting a set's ways
+by stamp reproduces the old stack exactly — including every
+tie-breaking case — while a hit update is O(1) instead of an O(ways)
+``list.remove`` + ``insert``.  On invalidation ``_clock`` is resynced
+to the set's surviving maximum so the ``stamp == clock`` MRU
+short-circuit keeps matching the old stack front bit-for-bit.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Collection, List
 
 from ...errors import SimulationError
@@ -20,58 +34,88 @@ class LRUPolicy(ReplacementPolicy):
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
-        self._stacks: List[List[int]] = [
-            list(range(associativity)) for _ in range(num_sets)
-        ]
-
-    def _touch(self, set_index: int, way: int, to_front: bool) -> None:
-        stack = self._stacks[set_index]
-        stack.remove(way)
-        if to_front:
-            stack.insert(0, way)
-        else:
-            stack.append(way)
+        # Way 0 starts MRU (stamp a-1) down to way a-1 at LRU (stamp
+        # 0), mirroring the old initial stack [0, 1, ..., a-1].
+        self._stamp = array(
+            "q", list(range(associativity - 1, -1, -1)) * num_sets
+        )
+        self._clock = array("q", [associativity - 1]) * num_sets
+        self._cold = array("q", [0]) * num_sets
 
     def on_fill(self, set_index: int, way: int) -> None:
-        self._touch(set_index, way, to_front=True)
+        top = self._clock[set_index] + 1
+        self._clock[set_index] = top
+        self._stamp[set_index * self.associativity + way] = top
 
     def on_hit(self, set_index: int, way: int) -> None:
-        # MRU hits are the common case under temporal locality; leaving
-        # the stack untouched for them skips a remove+insert pair.
-        stack = self._stacks[set_index]
-        if stack[0] == way:
+        # MRU hits are the common case under temporal locality; a
+        # stamp already equal to the set clock needs no update.
+        stamp = self._stamp
+        slot = set_index * self.associativity + way
+        top = self._clock[set_index]
+        if stamp[slot] == top:
             self.last_hit_was_mru = True
             return
         self.last_hit_was_mru = False
-        stack.remove(way)
-        stack.insert(0, way)
+        top += 1
+        self._clock[set_index] = top
+        stamp[slot] = top
 
     def on_invalidate(self, set_index: int, way: int) -> None:
-        self._touch(set_index, way, to_front=False)
+        base = set_index * self.associativity
+        cold = self._cold[set_index] - 1
+        self._cold[set_index] = cold
+        stamp = self._stamp
+        stamp[base + way] = cold
+        # Resync the clock to the surviving maximum so the MRU
+        # short-circuit in on_hit still matches the true front.
+        self._clock[set_index] = max(stamp[base:base + self.associativity])
 
     def select_victim(self, set_index: int, exclude: Collection[int] = ()) -> int:
         self._check_exclusion(exclude)
-        stack = self._stacks[set_index]
-        excluded = set(exclude)
-        for way in reversed(stack):
-            if way not in excluded:
-                return way
-        raise SimulationError("lru: no victim found")  # pragma: no cover
+        stamp = self._stamp
+        base = set_index * self.associativity
+        victim = -1
+        best = None
+        for way in range(self.associativity):
+            if way in exclude:
+                continue
+            value = stamp[base + way]
+            if best is None or value < best:
+                best = value
+                victim = way
+        if victim < 0:
+            raise SimulationError("lru: no victim found")  # pragma: no cover
+        return victim
 
     def victim_order(self, set_index: int) -> List[int]:
-        return list(reversed(self._stacks[set_index]))
+        stamp = self._stamp
+        base = set_index * self.associativity
+        return sorted(range(self.associativity), key=lambda w: stamp[base + w])
 
     def recency_of(self, set_index: int, way: int) -> int:
         """Return the recency rank of ``way`` (0 = MRU); for tests."""
-        return self._stacks[set_index].index(way)
+        stamp = self._stamp
+        base = set_index * self.associativity
+        mine = stamp[base + way]
+        return sum(
+            1 for w in range(self.associativity) if stamp[base + w] > mine
+        )
 
     def validate_set(self, set_index: int) -> None:
-        """The recency stack must be a permutation of the ways."""
-        stack = self._stacks[set_index]
-        if sorted(stack) != list(range(self.associativity)):
+        """Stamps must induce a total recency order under the clock."""
+        base = set_index * self.associativity
+        stamps = self._stamp[base:base + self.associativity]
+        if len(set(stamps)) != self.associativity:
             raise SimulationError(
-                f"{self.name}: set {set_index} recency stack {stack} is not "
-                f"a permutation of 0..{self.associativity - 1}"
+                f"{self.name}: set {set_index} stamps {list(stamps)} are not "
+                "pairwise distinct (recency order is not a permutation of "
+                f"0..{self.associativity - 1})"
+            )
+        if max(stamps) > self._clock[set_index]:
+            raise SimulationError(
+                f"{self.name}: set {set_index} stamp exceeds the set clock "
+                f"({max(stamps)} > {self._clock[set_index]})"
             )
 
 
@@ -85,7 +129,9 @@ class LIPPolicy(LRUPolicy):
     name = "lip"
 
     def on_fill(self, set_index: int, way: int) -> None:
-        self._touch(set_index, way, to_front=False)
+        cold = self._cold[set_index] - 1
+        self._cold[set_index] = cold
+        self._stamp[set_index * self.associativity + way] = cold
 
 
 class MRUPolicy(LRUPolicy):
@@ -95,11 +141,24 @@ class MRUPolicy(LRUPolicy):
 
     def select_victim(self, set_index: int, exclude: Collection[int] = ()) -> int:
         self._check_exclusion(exclude)
-        excluded = set(exclude)
-        for way in self._stacks[set_index]:
-            if way not in excluded:
-                return way
-        raise SimulationError("mru: no victim found")  # pragma: no cover
+        stamp = self._stamp
+        base = set_index * self.associativity
+        victim = -1
+        best = None
+        for way in range(self.associativity):
+            if way in exclude:
+                continue
+            value = stamp[base + way]
+            if best is None or value > best:
+                best = value
+                victim = way
+        if victim < 0:
+            raise SimulationError("mru: no victim found")  # pragma: no cover
+        return victim
 
     def victim_order(self, set_index: int) -> List[int]:
-        return list(self._stacks[set_index])
+        stamp = self._stamp
+        base = set_index * self.associativity
+        return sorted(
+            range(self.associativity), key=lambda w: -stamp[base + w]
+        )

@@ -5,6 +5,11 @@ bit; victim selection scans for the first way with a clear bit and, if
 every bit is set, clears them all first.  This is the one-bit
 degenerate case of RRIP and is what the paper's baseline LLC runs
 (Section IV.A, footnote 4).
+
+The reference bits are packed into one flat ``bytearray`` indexed
+``set_index * associativity + way``, so the no-exclusion victim scan
+is a C-level ``bytearray.find`` and the all-set clear is one slice
+assignment.
 """
 
 from __future__ import annotations
@@ -22,54 +27,61 @@ class NRUPolicy(ReplacementPolicy):
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
-        # One bytearray per set: 1 = recently used.
-        self._ref: List[bytearray] = [
-            bytearray(associativity) for _ in range(num_sets)
-        ]
+        # Flat bitmap: 1 = recently used.
+        self._ref = bytearray(num_sets * associativity)
+        self._clear = bytes(associativity)
 
     def on_fill(self, set_index: int, way: int) -> None:
-        self._ref[set_index][way] = 1
+        self._ref[set_index * self.associativity + way] = 1
 
     def on_hit(self, set_index: int, way: int) -> None:
-        self._ref[set_index][way] = 1
+        self._ref[set_index * self.associativity + way] = 1
 
     def on_invalidate(self, set_index: int, way: int) -> None:
-        self._ref[set_index][way] = 0
+        self._ref[set_index * self.associativity + way] = 0
 
     def select_victim(self, set_index: int, exclude: Collection[int] = ()) -> int:
         self._check_exclusion(exclude)
-        ref = self._ref[set_index]
-        excluded = set(exclude)
+        ref = self._ref
+        base = set_index * self.associativity
+        end = base + self.associativity
         # First pass: any not-recently-used, non-excluded way.
-        for way in range(self.associativity):
-            if not ref[way] and way not in excluded:
-                return way
+        if not exclude:
+            slot = ref.find(0, base, end)
+            if slot >= 0:
+                return slot - base
+        else:
+            for way in range(self.associativity):
+                if not ref[base + way] and way not in exclude:
+                    return way
         # Every non-excluded way has its bit set.  Hardware clears all
         # reference bits when *no* zero bit exists; if zero bits exist
         # but are excluded, just take the first allowed way without
         # touching state.
-        if all(ref):
-            for way in range(self.associativity):
-                ref[way] = 0
+        if ref.find(0, base, end) < 0:
+            ref[base:end] = self._clear
         for way in range(self.associativity):
-            if way not in excluded:
+            if way not in exclude:
                 return way
         raise SimulationError("nru: no victim found")  # pragma: no cover
 
     def victim_order(self, set_index: int) -> List[int]:
         """Not-recently-used ways (in way order) first, then the rest."""
-        ref = self._ref[set_index]
-        cold = [w for w in range(self.associativity) if not ref[w]]
-        hot = [w for w in range(self.associativity) if ref[w]]
+        ref = self._ref
+        base = set_index * self.associativity
+        cold = [w for w in range(self.associativity) if not ref[base + w]]
+        hot = [w for w in range(self.associativity) if ref[base + w]]
         return cold + hot
 
     def ref_bit(self, set_index: int, way: int) -> int:
         """Expose the reference bit (tests and debugging)."""
-        return self._ref[set_index][way]
+        return self._ref[set_index * self.associativity + way]
 
     def validate_set(self, set_index: int) -> None:
         """Every reference bit must be 0 or 1."""
-        for way, bit in enumerate(self._ref[set_index]):
+        base = set_index * self.associativity
+        for way in range(self.associativity):
+            bit = self._ref[base + way]
             if bit not in (0, 1):
                 raise SimulationError(
                     f"{self.name}: set {set_index} way {way} reference bit "

@@ -5,12 +5,17 @@ toward the *less* recently used half.  Hits and fills flip the bits on
 the path to the accessed way so they point away from it; victim
 selection follows the bits from the root.
 
+The trees are packed into one flat ``bytearray``: set ``s`` owns the
+``associativity`` bytes starting at ``s * associativity``, laid out as
+a heap (node 1 is the root, children of ``n`` are ``2n`` / ``2n+1``;
+byte 0 of each segment is unused, as in the unpacked form).
+
 Associativity must be a power of two.
 """
 
 from __future__ import annotations
 
-from typing import Collection, List
+from typing import Collection
 
 from ...errors import SimulationError
 from .base import ReplacementPolicy
@@ -26,18 +31,17 @@ class TreePLRUPolicy(ReplacementPolicy):
         if associativity & (associativity - 1):
             raise SimulationError("plru requires power-of-two associativity")
         self._levels = associativity.bit_length() - 1
-        # Heap layout: node 1 is the root, children of n are 2n, 2n+1.
-        self._bits: List[bytearray] = [
-            bytearray(associativity) for _ in range(num_sets)
-        ]
+        # Flat heap segments; node 1 of set s lives at s*assoc + 1.
+        self._bits = bytearray(num_sets * associativity)
 
     def _touch(self, set_index: int, way: int) -> None:
         """Point every node on the path to ``way`` away from it."""
-        bits = self._bits[set_index]
+        bits = self._bits
+        base = set_index * self.associativity
         node = 1
         for level in range(self._levels - 1, -1, -1):
             direction = (way >> level) & 1
-            bits[node] = 1 - direction  # point at the other half
+            bits[base + node] = 1 - direction  # point at the other half
             node = (node << 1) | direction
 
     def on_fill(self, set_index: int, way: int) -> None:
@@ -48,11 +52,12 @@ class TreePLRUPolicy(ReplacementPolicy):
 
     def select_victim(self, set_index: int, exclude: Collection[int] = ()) -> int:
         self._check_exclusion(exclude)
-        bits = self._bits[set_index]
+        bits = self._bits
+        base = set_index * self.associativity
         node = 1
         way = 0
         for _ in range(self._levels):
-            direction = bits[node]
+            direction = bits[base + node]
             node = (node << 1) | direction
             way = (way << 1) | direction
         if way not in exclude:
@@ -65,7 +70,9 @@ class TreePLRUPolicy(ReplacementPolicy):
 
     def validate_set(self, set_index: int) -> None:
         """Every tree node bit must be 0 or 1."""
-        for node, bit in enumerate(self._bits[set_index]):
+        base = set_index * self.associativity
+        for node in range(self.associativity):
+            bit = self._bits[base + node]
             if bit not in (0, 1):
                 raise SimulationError(
                     f"{self.name}: set {set_index} tree node {node} bit "

@@ -10,6 +10,10 @@ Each line carries an M-bit Re-Reference Prediction Value (RRPV);
 eviction target.  SRRIP inserts at ``max - 1``, BRRIP inserts at
 ``max`` except for an occasional ``max - 1``, and DRRIP set-duels
 between the two.
+
+RRPVs are packed into one flat ``bytearray`` indexed
+``set_index * associativity + way`` (an RRPV fits a byte for any sane
+``rrpv_bits``).
 """
 
 from __future__ import annotations
@@ -29,53 +33,64 @@ class SRRIPPolicy(ReplacementPolicy):
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
         self.max_rrpv = (1 << self.rrpv_bits) - 1
-        self._rrpv: List[bytearray] = [
-            bytearray([self.max_rrpv] * associativity) for _ in range(num_sets)
-        ]
+        # Flat RRPV array; everything starts at the eviction target.
+        self._rrpv = bytearray([self.max_rrpv]) * (num_sets * associativity)
 
     # -- insertion prediction (overridden by BRRIP/DRRIP) -------------------
     def _insertion_rrpv(self, set_index: int) -> int:
         return self.max_rrpv - 1
 
     def on_fill(self, set_index: int, way: int) -> None:
-        self._rrpv[set_index][way] = self._insertion_rrpv(set_index)
+        self._rrpv[set_index * self.associativity + way] = self._insertion_rrpv(
+            set_index
+        )
 
     def on_hit(self, set_index: int, way: int) -> None:
-        self._rrpv[set_index][way] = 0
+        self._rrpv[set_index * self.associativity + way] = 0
 
     def on_invalidate(self, set_index: int, way: int) -> None:
-        self._rrpv[set_index][way] = self.max_rrpv
+        self._rrpv[set_index * self.associativity + way] = self.max_rrpv
 
     def select_victim(self, set_index: int, exclude: Collection[int] = ()) -> int:
         self._check_exclusion(exclude)
-        rrpv = self._rrpv[set_index]
-        excluded = set(exclude)
+        rrpv = self._rrpv
+        base = set_index * self.associativity
+        end = base + self.associativity
+        max_rrpv = self.max_rrpv
         # Age at most max_rrpv times; each aging pass increases the
         # minimum candidate RRPV by one, so the loop must terminate.
-        for _ in range(self.max_rrpv + 1):
-            for way in range(self.associativity):
-                if way in excluded:
-                    continue
-                if rrpv[way] >= self.max_rrpv:
-                    return way
-            for way in range(self.associativity):
-                if rrpv[way] < self.max_rrpv:
-                    rrpv[way] += 1
+        for _ in range(max_rrpv + 1):
+            if not exclude:
+                slot = rrpv.find(max_rrpv, base, end)
+                if slot >= 0:
+                    return slot - base
+            else:
+                for way in range(self.associativity):
+                    if way in exclude:
+                        continue
+                    if rrpv[base + way] >= max_rrpv:
+                        return way
+            for slot in range(base, end):
+                if rrpv[slot] < max_rrpv:
+                    rrpv[slot] += 1
         raise SimulationError("rrip: aging failed to expose a victim")
 
     def victim_order(self, set_index: int) -> List[int]:
-        rrpv = self._rrpv[set_index]
+        rrpv = self._rrpv
+        base = set_index * self.associativity
         return sorted(
-            range(self.associativity), key=lambda w: (-rrpv[w], w)
+            range(self.associativity), key=lambda w: (-rrpv[base + w], w)
         )
 
     def rrpv_of(self, set_index: int, way: int) -> int:
         """Expose a line's RRPV (tests and debugging)."""
-        return self._rrpv[set_index][way]
+        return self._rrpv[set_index * self.associativity + way]
 
     def validate_set(self, set_index: int) -> None:
         """Every RRPV must be within the policy's bit width."""
-        for way, rrpv in enumerate(self._rrpv[set_index]):
+        base = set_index * self.associativity
+        for way in range(self.associativity):
+            rrpv = self._rrpv[base + way]
             if not 0 <= rrpv <= self.max_rrpv:
                 raise SimulationError(
                     f"{self.name}: set {set_index} way {way} RRPV {rrpv} "

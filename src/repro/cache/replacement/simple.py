@@ -1,7 +1,17 @@
-"""FIFO and deterministic-random replacement policies."""
+"""FIFO and deterministic-random replacement policies.
+
+FIFO uses the same packed stamp representation as the recency
+policies: one signed 64-bit age stamp per way in a flat ``array('q')``
+(lower stamp = older = evicted first), a per-set ``_clock`` handing
+out increasing stamps on fills and a per-set ``_cold`` handing out
+decreasing stamps on invalidations (an invalidated way goes to the
+front of the age queue).  Sorting a set's ways by stamp reproduces the
+old explicit queue exactly, tie cases included.
+"""
 
 from __future__ import annotations
 
+from array import array
 from typing import Collection, List
 
 from ...errors import SimulationError
@@ -15,42 +25,55 @@ class FIFOPolicy(ReplacementPolicy):
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
-        # Oldest way at the front of each queue.
-        self._queues: List[List[int]] = [
-            list(range(associativity)) for _ in range(num_sets)
-        ]
+        # Way 0 starts oldest (stamp 0), matching the old initial
+        # queue [0, 1, ..., a-1].
+        self._stamp = array("q", list(range(associativity)) * num_sets)
+        self._clock = array("q", [associativity - 1]) * num_sets
+        self._cold = array("q", [0]) * num_sets
 
     def on_fill(self, set_index: int, way: int) -> None:
-        queue = self._queues[set_index]
-        queue.remove(way)
-        queue.append(way)
+        top = self._clock[set_index] + 1
+        self._clock[set_index] = top
+        self._stamp[set_index * self.associativity + way] = top
 
     def on_hit(self, set_index: int, way: int) -> None:
         """FIFO ignores hits by definition."""
 
     def on_invalidate(self, set_index: int, way: int) -> None:
-        queue = self._queues[set_index]
-        queue.remove(way)
-        queue.insert(0, way)
+        cold = self._cold[set_index] - 1
+        self._cold[set_index] = cold
+        self._stamp[set_index * self.associativity + way] = cold
 
     def select_victim(self, set_index: int, exclude: Collection[int] = ()) -> int:
         self._check_exclusion(exclude)
-        excluded = set(exclude)
-        for way in self._queues[set_index]:
-            if way not in excluded:
-                return way
-        raise SimulationError("fifo: no victim found")  # pragma: no cover
+        stamp = self._stamp
+        base = set_index * self.associativity
+        victim = -1
+        best = None
+        for way in range(self.associativity):
+            if way in exclude:
+                continue
+            value = stamp[base + way]
+            if best is None or value < best:
+                best = value
+                victim = way
+        if victim < 0:
+            raise SimulationError("fifo: no victim found")  # pragma: no cover
+        return victim
 
     def victim_order(self, set_index: int) -> List[int]:
-        return list(self._queues[set_index])
+        stamp = self._stamp
+        base = set_index * self.associativity
+        return sorted(range(self.associativity), key=lambda w: stamp[base + w])
 
     def validate_set(self, set_index: int) -> None:
-        """The age queue must be a permutation of the ways."""
-        queue = self._queues[set_index]
-        if sorted(queue) != list(range(self.associativity)):
+        """Age stamps must induce a total order over the ways."""
+        base = set_index * self.associativity
+        stamps = self._stamp[base:base + self.associativity]
+        if len(set(stamps)) != self.associativity:
             raise SimulationError(
-                f"{self.name}: set {set_index} age queue {queue} is not "
-                f"a permutation of 0..{self.associativity - 1}"
+                f"{self.name}: set {set_index} age stamps {list(stamps)} "
+                f"are not pairwise distinct"
             )
 
 

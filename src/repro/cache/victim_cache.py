@@ -79,6 +79,10 @@ class VictimCache:
     def contains(self, line_addr: int) -> bool:
         return line_addr in self._entries
 
+    def resident_lines(self):
+        """Iterate buffered line addresses, LRU-first (read-only probe)."""
+        return iter(self._entries)
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -49,15 +49,15 @@ class EarlyCoreInvalidation(TLAPolicy):
         if llc.find_invalid_way(set_index) is not None:
             return
         next_way = llc.policy.select_victim(set_index, exclude={filled_way})
-        victim_line = llc.line_at(set_index, next_way)
-        if not victim_line.valid:  # pragma: no cover - excluded above
+        victim_addr = llc.addr_at(set_index, next_way)
+        if victim_addr is None:  # pragma: no cover - excluded above
             return
         # The early invalidate happens "in the shadow of the miss to
         # memory" (Section III.B), so no latency is charged; only the
         # messages are counted.
         self.early_invalidations += 1
         was_present = hierarchy._back_invalidate(
-            victim_line.line_addr,
+            victim_addr,
             MessageType.ECI_INVALIDATE,
             record_inclusion_victim=False,
             dirty_to_llc=True,

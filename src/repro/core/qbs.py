@@ -67,15 +67,15 @@ class QueryBasedSelection(TLAPolicy):
         examined: Set[int] = set()
         queries_sent = 0
         while True:
-            way, line = llc.select_victim(set_index, exclude_ways=examined)
+            way, candidate_addr = llc.select_victim(set_index, exclude_ways=examined)
             self.candidates_examined += 1
-            if not line.valid:
+            if candidate_addr is None:
                 return way  # invalid way needs no query
             if self.max_queries and queries_sent >= self.max_queries:
                 # Query budget exhausted: take this candidate unqueried.
                 return way
             queries_sent += 1
-            resident = hierarchy.line_in_core_caches(line.line_addr, self.levels)
+            resident = hierarchy.line_in_core_caches(candidate_addr, self.levels)
             if not resident:
                 return way
             # Spare the line: refresh its LLC replacement state.
@@ -86,13 +86,13 @@ class QueryBasedSelection(TLAPolicy):
                     hierarchy.clock,
                     EVENT_QBS_PROMOTE,
                     core=core_id,
-                    line=line.line_addr,
+                    line=candidate_addr,
                 )
             if self.back_invalidate:
                 # Modified QBS (footnote 6): behave like ECI towards
                 # the core caches while still sparing the LLC copy.
                 hierarchy._back_invalidate(
-                    line.line_addr,
+                    candidate_addr,
                     MessageType.ECI_INVALIDATE,
                     record_inclusion_victim=False,
                     dirty_to_llc=True,

@@ -172,27 +172,35 @@ class CMPSimulator:
         if timer is not None:
             timer.enter(PHASE_SIM_LOOP)
         while remaining:
-            core = min(active, key=_core_clock)
-            for _ in range(burst):
-                was_done = core.done
-                progressed = core.step()
-                steps += 1
-                if not was_done and core.done:
-                    remaining -= 1
-                    if not remaining:
-                        break
-                if not progressed:
-                    active.remove(core)
-                    if not active and remaining:
-                        raise SimulationError(
-                            "all traces exhausted before every quota was met"
-                        )
-                    break
-                if (
-                    check_invariants_every
-                    and steps % check_invariants_every == 0
-                ):
-                    self.hierarchy.check_invariants()
+            # Earliest-in-time election; the unrolled one- and two-core
+            # forms pick the same core ``min`` would (first on ties)
+            # without the key-function call or the ``cycles`` property.
+            n_active = len(active)
+            if n_active == 1:
+                core = active[0]
+            elif n_active == 2:
+                core, other = active
+                if other.timing.cycles < core.timing.cycles:
+                    core = other
+            else:
+                core = min(active, key=_core_clock)
+            executed, transitioned, exhausted = core.step_burst(
+                burst, stop_when_done=(remaining == 1)
+            )
+            steps += executed
+            if transitioned:
+                remaining -= 1
+            if exhausted:
+                active.remove(core)
+                if not active and remaining:
+                    raise SimulationError(
+                        "all traces exhausted before every quota was met"
+                    )
+            if (
+                check_invariants_every
+                and steps % check_invariants_every == 0
+            ):
+                self.hierarchy.check_invariants()
         if timer is not None:
             timer.exit()
         if check_invariants_every:
@@ -249,7 +257,7 @@ class CMPSimulator:
 
 
 def _core_clock(core: SimulatedCore) -> float:
-    return core.cycles
+    return core.timing.cycles
 
 
 def run_simulation(

@@ -8,16 +8,23 @@ shared LLC — the methodology of paper Section IV.B.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
+from ..access import AccessType
+from ..cache import Cache
 from ..config import SimConfig
 from ..errors import SimulationError
 from ..hierarchy import HIT_LLC, BaseHierarchy
 from ..hierarchy.mshr import MSHRFile
-from ..perf.phase import PHASE_TRACE_GEN
+from ..perf.phase import PHASE_L1_ACCESS, PHASE_TRACE_GEN
 from ..prefetch import make_prefetcher
 from ..workloads.trace import TraceRecord
 from .timing import CoreTimingModel
+
+# Hoisted enum members for the inline burst loop (attribute access on
+# an Enum class costs a metaclass dict probe per record otherwise).
+_IFETCH = AccessType.IFETCH
+_STORE = AccessType.STORE
 
 
 class SimulatedCore:
@@ -130,6 +137,363 @@ class SimulatedCore:
         if recording and instructions >= self._quota_end:
             self._finish()
         return True
+
+    def step_burst(self, count: int, stop_when_done: bool) -> Tuple[int, bool, bool]:
+        """Process up to ``count`` trace records in one call (hot path).
+
+        Returns ``(steps_executed, transitioned, exhausted)`` where
+        ``transitioned`` reports whether this burst crossed the core's
+        quota boundary (``done`` flipped False -> True) and
+        ``exhausted`` whether the trace ended.  With
+        ``stop_when_done=True`` the burst stops right after a quota
+        transition — the CMP loop passes that when this core is the
+        last one still measuring, so no extra steps (which would keep
+        mutating the always-recorded traffic counters) run after the
+        simulation's logical end.
+
+        Observable behaviour is identical to ``count`` calls of
+        :meth:`step`; the win is hoisting attribute lookups and method
+        binding out of the per-record loop, and — when no hook of any
+        kind is attached — probing the L1 inline so the common L1-hit
+        record never leaves this frame.  Attached telemetry /
+        prefetcher hooks fall back to the plain loop; a phase timer
+        gets its own burst loop.
+        """
+        if self._collector is not None or self.prefetcher is not None:
+            return self._step_burst_slow(count, stop_when_done)
+        if self._phase_timer is not None:
+            return self._step_burst_timer(count, stop_when_done)
+        hierarchy = self.hierarchy
+        if (
+            hierarchy.sanitizer is not None
+            or hierarchy._tla_hit_hook is not None
+            or hierarchy.phase_timer is not None
+            or type(hierarchy).access is not BaseHierarchy.access
+        ):
+            return self._step_burst_plain(count, stop_when_done)
+        core = hierarchy.cores[self.core_id]
+        if (
+            type(core.l1i).access is not Cache.access
+            or type(core.l1d).access is not Cache.access
+        ):
+            return self._step_burst_plain(count, stop_when_done)
+
+        # Inline loop: the L1 probe and hit accounting happen right
+        # here; only L1 misses call into the hierarchy.  Instruction
+        # and cycle counts live in locals, flushed to the timing model
+        # around every out-of-frame call so observable state is always
+        # consistent — and the float operations (two adds when a gap
+        # is present, one otherwise) are performed in exactly the
+        # order ``CoreTimingModel.step_account`` performs them.
+        timing = self.timing
+        trace_next = self.trace.__next__
+        beyond_l1 = hierarchy._beyond_l1
+        step_account = timing.step_account
+        core_id = self.core_id
+        stats = hierarchy.core_stats[core_id]
+        l1i_access = core.l1i.access
+        l1d_access = core.l1d.access
+        line_shift = hierarchy.line_shift
+        base_cpi = timing.timing.base_cpi
+        warmup = self.warmup
+        quota_end = self._quota_end
+        transitioned = False
+        instructions = timing.instructions
+        cycles = timing.cycles
+        is_done = self._exhausted or instructions >= quota_end
+        for step_index in range(count):
+            try:
+                gap, kind, address = trace_next()
+            except StopIteration:
+                timing.instructions = instructions
+                timing.cycles = cycles
+                self._exhausted = True
+                self._finish()
+                return step_index + 1, transitioned or not is_done, True
+            recording = warmup <= instructions < quota_end
+            line_addr = address >> line_shift
+            if kind is _IFETCH:
+                is_ifetch = True
+                is_write = False
+                if recording:
+                    stats.l1i_accesses += 1
+                hit = l1i_access(line_addr)
+                if not hit and recording:
+                    stats.l1i_misses += 1
+            else:
+                is_ifetch = False
+                is_write = kind is _STORE
+                if recording:
+                    stats.l1d_accesses += 1
+                hit = l1d_access(line_addr, write=is_write)
+                if not hit and recording:
+                    stats.l1d_misses += 1
+            if hit:
+                if gap > 0:
+                    instructions += gap
+                    cycles += gap * base_cpi
+                instructions += 1
+                cycles += base_cpi
+            else:
+                timing.instructions = instructions
+                timing.cycles = cycles
+                level = beyond_l1(
+                    core_id,
+                    core,
+                    stats if recording else None,
+                    line_addr,
+                    is_ifetch,
+                    is_write,
+                )
+                step_account(gap, level, kind)
+                instructions = timing.instructions
+                cycles = timing.cycles
+            if self.cycles_at_warmup < 0 and instructions >= warmup:
+                self.cycles_at_warmup = cycles
+            if not is_done and instructions >= quota_end:
+                is_done = True
+                transitioned = True
+                if recording:
+                    timing.instructions = instructions
+                    timing.cycles = cycles
+                    self._finish()  # drain may advance the clock
+                    instructions = timing.instructions
+                    cycles = timing.cycles
+                if stop_when_done:
+                    timing.instructions = instructions
+                    timing.cycles = cycles
+                    return step_index + 1, True, False
+        timing.instructions = instructions
+        timing.cycles = cycles
+        return count, transitioned, False
+
+    def _step_burst_plain(
+        self, count: int, stop_when_done: bool
+    ) -> Tuple[int, bool, bool]:
+        """Hoisted-bindings burst used when the inline L1 path is unsafe
+        (sanitizer attached, TLH hit hook installed, or subclassed
+        hierarchy/cache access methods)."""
+        timing = self.timing
+        trace_next = self.trace.__next__
+        access = self.hierarchy.access
+        step_account = timing.step_account
+        core_id = self.core_id
+        warmup = self.warmup
+        quota_end = self._quota_end
+        transitioned = False
+        is_done = self._exhausted or timing.instructions >= quota_end
+        for step_index in range(count):
+            try:
+                gap, kind, address = trace_next()
+            except StopIteration:
+                self._exhausted = True
+                self._finish()
+                return step_index + 1, transitioned or not is_done, True
+            instructions = timing.instructions
+            recording = warmup <= instructions < quota_end
+            level = access(core_id, address, kind, record_stats=recording)
+            step_account(gap, level, kind)
+            instructions = timing.instructions
+            if self.cycles_at_warmup < 0 and instructions >= warmup:
+                self.cycles_at_warmup = timing.cycles
+            if not is_done and instructions >= quota_end:
+                is_done = True
+                transitioned = True
+                if recording:
+                    self._finish()
+                if stop_when_done:
+                    return step_index + 1, True, False
+        return count, transitioned, False
+
+    def _step_burst_timer(
+        self, count: int, stop_when_done: bool
+    ) -> Tuple[int, bool, bool]:
+        """Burst loop for phase-timed runs: identical semantics to the
+        plain loop plus the ``trace_gen`` phase bracket around each
+        trace draw (the hierarchy brackets its own phases inside
+        ``access``).
+
+        When the hierarchy is hook-free and shares this core's timer,
+        the L1 probe runs inline here with the same ``l1_access``
+        bracket ``BaseHierarchy.access`` would have opened, so the
+        phase stream (and every counter) is bit-identical to the
+        fallback loop below while the common L1-hit record never
+        leaves this frame.
+        """
+        hierarchy = self.hierarchy
+        timer = self._phase_timer
+        if (
+            hierarchy.sanitizer is None
+            and hierarchy._tla_hit_hook is None
+            and hierarchy.phase_timer is timer
+            and type(hierarchy).access is BaseHierarchy.access
+        ):
+            core = hierarchy.cores[self.core_id]
+            if (
+                type(core.l1i).access is Cache.access
+                and type(core.l1d).access is Cache.access
+            ):
+                return self._step_burst_timer_inline(
+                    count, stop_when_done, core, timer
+                )
+        return self._step_burst_timer_plain(count, stop_when_done)
+
+    def _step_burst_timer_inline(
+        self, count: int, stop_when_done: bool, core, timer
+    ) -> Tuple[int, bool, bool]:
+        """Inline-L1 burst with phase brackets (see _step_burst_timer)."""
+        timing = self.timing
+        timer_enter = timer.enter
+        timer_exit = timer.exit
+        timer_switch = timer.switch
+        trace_next = self.trace.__next__
+        hierarchy = self.hierarchy
+        beyond_l1 = hierarchy._beyond_l1
+        step_account = timing.step_account
+        core_id = self.core_id
+        stats = hierarchy.core_stats[core_id]
+        l1i_access = core.l1i.access
+        l1d_access = core.l1d.access
+        line_shift = hierarchy.line_shift
+        base_cpi = timing.timing.base_cpi
+        warmup = self.warmup
+        quota_end = self._quota_end
+        transitioned = False
+        instructions = timing.instructions
+        cycles = timing.cycles
+        is_done = self._exhausted or instructions >= quota_end
+        for step_index in range(count):
+            timer_enter(PHASE_TRACE_GEN)
+            try:
+                gap, kind, address = trace_next()
+            except StopIteration:
+                timer_exit()
+                timing.instructions = instructions
+                timing.cycles = cycles
+                self._exhausted = True
+                self._finish()
+                return step_index + 1, transitioned or not is_done, True
+            recording = warmup <= instructions < quota_end
+            line_addr = address >> line_shift
+            # One fused transition (trace_gen -> l1_access) instead of
+            # exit + enter: half the clock reads per record.
+            timer_switch(PHASE_L1_ACCESS)
+            if kind is _IFETCH:
+                is_ifetch = True
+                is_write = False
+                if recording:
+                    stats.l1i_accesses += 1
+                hit = l1i_access(line_addr)
+                if not hit and recording:
+                    stats.l1i_misses += 1
+            else:
+                is_ifetch = False
+                is_write = kind is _STORE
+                if recording:
+                    stats.l1d_accesses += 1
+                hit = l1d_access(line_addr, write=is_write)
+                if not hit and recording:
+                    stats.l1d_misses += 1
+            if hit:
+                timer_exit()
+                if gap > 0:
+                    instructions += gap
+                    cycles += gap * base_cpi
+                instructions += 1
+                cycles += base_cpi
+            else:
+                # _beyond_l1 exits the still-open l1_access phase
+                # itself (and brackets llc_access), exactly as it does
+                # when called from BaseHierarchy.access.
+                timing.instructions = instructions
+                timing.cycles = cycles
+                level = beyond_l1(
+                    core_id,
+                    core,
+                    stats if recording else None,
+                    line_addr,
+                    is_ifetch,
+                    is_write,
+                )
+                step_account(gap, level, kind)
+                instructions = timing.instructions
+                cycles = timing.cycles
+            if self.cycles_at_warmup < 0 and instructions >= warmup:
+                self.cycles_at_warmup = cycles
+            if not is_done and instructions >= quota_end:
+                is_done = True
+                transitioned = True
+                if recording:
+                    timing.instructions = instructions
+                    timing.cycles = cycles
+                    self._finish()  # drain may advance the clock
+                    instructions = timing.instructions
+                    cycles = timing.cycles
+                if stop_when_done:
+                    timing.instructions = instructions
+                    timing.cycles = cycles
+                    return step_index + 1, True, False
+        timing.instructions = instructions
+        timing.cycles = cycles
+        return count, transitioned, False
+
+    def _step_burst_timer_plain(
+        self, count: int, stop_when_done: bool
+    ) -> Tuple[int, bool, bool]:
+        """Hook-compatible phase-timed burst (hoisted bindings only)."""
+        timing = self.timing
+        timer = self._phase_timer
+        timer_enter = timer.enter
+        timer_exit = timer.exit
+        trace_next = self.trace.__next__
+        access = self.hierarchy.access
+        step_account = timing.step_account
+        core_id = self.core_id
+        warmup = self.warmup
+        quota_end = self._quota_end
+        transitioned = False
+        is_done = self._exhausted or timing.instructions >= quota_end
+        for step_index in range(count):
+            timer_enter(PHASE_TRACE_GEN)
+            try:
+                gap, kind, address = trace_next()
+            except StopIteration:
+                timer_exit()
+                self._exhausted = True
+                self._finish()
+                return step_index + 1, transitioned or not is_done, True
+            timer_exit()
+            instructions = timing.instructions
+            recording = warmup <= instructions < quota_end
+            level = access(core_id, address, kind, record_stats=recording)
+            step_account(gap, level, kind)
+            instructions = timing.instructions
+            if self.cycles_at_warmup < 0 and instructions >= warmup:
+                self.cycles_at_warmup = timing.cycles
+            if not is_done and instructions >= quota_end:
+                is_done = True
+                transitioned = True
+                if recording:
+                    self._finish()
+                if stop_when_done:
+                    return step_index + 1, True, False
+        return count, transitioned, False
+
+    def _step_burst_slow(
+        self, count: int, stop_when_done: bool
+    ) -> Tuple[int, bool, bool]:
+        """Hook-compatible burst: plain :meth:`step` calls."""
+        transitioned = False
+        for step_index in range(count):
+            was_done = self.done
+            progressed = self.step()
+            if not was_done and self.done:
+                transitioned = True
+            if not progressed:
+                return step_index + 1, transitioned, True
+            if transitioned and stop_when_done:
+                return step_index + 1, True, False
+        return count, transitioned, False
 
     def _finish(self) -> None:
         if self.cycles_at_quota is None:

@@ -57,13 +57,33 @@ class CoreTimingModel:
             self.instructions += instruction_count
             self.cycles += instruction_count * self.timing.base_cpi
 
+    def step_account(self, gap: int, level: int, kind: AccessType) -> None:
+        """Fused ``advance(gap)`` + ``record_access(level, kind)``.
+
+        The burst step loop calls this once per trace record instead of
+        paying two method calls.  It performs exactly the same
+        floating-point operations in the same order as the separate
+        calls, so cycle counts stay bit-identical either way.
+        """
+        if gap > 0:
+            self.instructions += gap
+            self.cycles += gap * self.timing.base_cpi
+        self.instructions += 1
+        self.cycles += self.timing.base_cpi
+        if level == HIT_L1:
+            return  # pipelined; no visible stall
+        self._account_miss(level, kind)
+
     def record_access(self, level: int, kind: AccessType) -> None:
         """Account for one memory instruction that hit at ``level``."""
         self.instructions += 1
         self.cycles += self.timing.base_cpi
         if level == HIT_L1:
             return  # pipelined; no visible stall
+        self._account_miss(level, kind)
 
+    def _account_miss(self, level: int, kind: AccessType) -> None:
+        """Stall accounting for an access that left the L1."""
         self._retire_returned()
         self._stall_on_full_rob()
 

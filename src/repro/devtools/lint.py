@@ -33,9 +33,11 @@ that defines them.  This module walks the AST of every file under
 
 ``CS4`` *stats-counter mutation*
     Assignments to ``<obj>.stats.<counter>`` (or a local ``stats``
-    alias) are only allowed in the ``cache``, ``hierarchy``, ``cpu``
-    and ``metrics`` layers that own those counters.  Other layers
-    read counters through snapshots.
+    alias), to any ``*_stats`` attribute/name (``core_stats``,
+    ``llc_stats``, ...) and to subscripted stats containers
+    (``hierarchy.core_stats[i].<counter>``) are only allowed in the
+    ``cache``, ``hierarchy``, ``cpu`` and ``metrics`` layers that own
+    those counters.  Other layers read counters through snapshots.
 
 Run as ``python -m repro.devtools.lint [paths...]`` (exit 1 on
 violations) or through :func:`run_lint` from tests.
@@ -198,11 +200,7 @@ class _Visitor(ast.NodeVisitor):
     def _check_stats_target(self, node: ast.AST, target: ast.expr) -> None:
         if not isinstance(target, ast.Attribute):
             return
-        owner = target.value
-        is_stats = (
-            isinstance(owner, ast.Attribute) and owner.attr == "stats"
-        ) or (isinstance(owner, ast.Name) and owner.id == "stats")
-        if not is_stats:
+        if not _is_stats_owner(target.value):
             return
         if self.zone in STATS_ZONES:
             return
@@ -213,6 +211,25 @@ class _Visitor(ast.NodeVisitor):
             f"{'/'.join(sorted(STATS_ZONES))} layers that own the "
             "counters; read through snapshots instead",
         )
+
+
+def _is_stats_owner(owner: ast.expr) -> bool:
+    """Does ``owner`` denote a stats-counter object (CS4)?
+
+    Covers the packed cache-module layout's full counter surface:
+    ``<obj>.stats.<counter>`` and local ``stats`` aliases (the
+    original forms), any ``*_stats`` attribute or name (the
+    hierarchy's ``core_stats`` / ``llc_stats`` objects and their
+    aliases), and subscripted containers of stats objects
+    (``hierarchy.core_stats[i].<counter>``).
+    """
+    if isinstance(owner, ast.Attribute):
+        return owner.attr == "stats" or owner.attr.endswith("_stats")
+    if isinstance(owner, ast.Name):
+        return owner.id == "stats" or owner.id.endswith("_stats")
+    if isinstance(owner, ast.Subscript):
+        return _is_stats_owner(owner.value)
+    return False
 
 
 def _zone_of(path: Path) -> Optional[str]:

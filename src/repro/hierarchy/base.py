@@ -46,6 +46,11 @@ HIT_MEMORY = 3
 
 LEVEL_NAMES = {HIT_L1: "l1", HIT_L2: "l2", HIT_LLC: "llc", HIT_MEMORY: "memory"}
 
+# Hot-path locals: enum member lookups cost a metaclass dict probe each,
+# so the demand path compares against module-level bindings instead.
+_IFETCH = AccessType.IFETCH
+_STORE = AccessType.STORE
+
 
 @dataclass
 class CoreAccessStats:
@@ -137,6 +142,7 @@ class BaseHierarchy:
         self.clock = 0.0
         self.tla: "TLAPolicy" = _make_none_policy()
         self.tla.attach(self)
+        self._refresh_tla_hooks()
 
     def add_observer(self, observer: object) -> None:
         """Attach an analysis observer (see :mod:`repro.analysis`).
@@ -161,6 +167,22 @@ class BaseHierarchy:
         """Install a TLA policy; it hooks victim selection and hit events."""
         self.tla = policy
         policy.attach(self)
+        self._refresh_tla_hooks()
+
+    def _refresh_tla_hooks(self) -> None:
+        """Cache the TLA hit hook, or None when the policy doesn't override it.
+
+        Core-cache hits are the simulator's hottest event by far; for
+        policies that ignore them (none/ECI/QBS — everything but TLH)
+        the hit path then pays one ``is None`` test instead of a bound
+        method call per hit.
+        """
+        from ..core.tla import TLAPolicy  # late: hierarchy<->core cycle
+
+        if type(self.tla).on_core_cache_hit is TLAPolicy.on_core_cache_hit:
+            self._tla_hit_hook = None
+        else:
+            self._tla_hit_hook = self.tla.on_core_cache_hit
 
     # -- CacheSan sanitizer management ------------------------------------------
     def attach_sanitizer(self, sanitizer: HierarchySanitizer) -> None:
@@ -192,8 +214,8 @@ class BaseHierarchy:
         line_addr = address >> self.line_shift
         core = self.cores[core_id]
         stats = self.core_stats[core_id] if record_stats else None
-        is_ifetch = kind is AccessType.IFETCH
-        is_write = kind is AccessType.STORE
+        is_ifetch = kind is _IFETCH
+        is_write = kind is _STORE
 
         # L1
         l1 = core.l1i if is_ifetch else core.l1d
@@ -203,9 +225,9 @@ class BaseHierarchy:
             else:
                 stats.l1d_accesses += 1
         if l1.access(line_addr, write=is_write):
-            self.tla.on_core_cache_hit(
-                core_id, "il1" if is_ifetch else "dl1", line_addr
-            )
+            hit_hook = self._tla_hit_hook
+            if hit_hook is not None:
+                hit_hook(core_id, "il1" if is_ifetch else "dl1", line_addr)
             if timer is not None:
                 timer.exit()
             return HIT_L1
@@ -214,13 +236,35 @@ class BaseHierarchy:
                 stats.l1i_misses += 1
             else:
                 stats.l1d_misses += 1
+        return self._beyond_l1(core_id, core, stats, line_addr, is_ifetch, is_write)
+
+    def _beyond_l1(
+        self,
+        core_id: int,
+        core: CoreCaches,
+        stats: Optional[CoreAccessStats],
+        line_addr: int,
+        is_ifetch: bool,
+        is_write: bool,
+    ) -> int:
+        """Continue a demand access after an L1 miss (L2 -> LLC -> fills).
+
+        Split out of :meth:`access` so the CPU's burst loop can probe
+        the L1 inline (the hot common case) and only pay a hierarchy
+        call on L1 misses.  The caller has already counted the L1
+        access and miss; the phase timer, if any, is still inside the
+        ``l1_access`` phase.
+        """
+        timer = self.phase_timer
 
         # L2
         if stats is not None:
             stats.l2_accesses += 1
         if core.l2.access(line_addr):
             self._fill_core_l1(core, line_addr, is_ifetch, is_write)
-            self.tla.on_core_cache_hit(core_id, "l2", line_addr)
+            hit_hook = self._tla_hit_hook
+            if hit_hook is not None:
+                hit_hook(core_id, "l2", line_addr)
             if timer is not None:
                 timer.exit()
             return HIT_L2

@@ -33,6 +33,10 @@ ACCESS_LOOP_INSTRUCTIONS = 40_000
 TRACE_GEN_RECORDS = 50_000
 #: accesses issued per cache-array round.
 CACHE_ARRAY_ACCESSES = 50_000
+#: instructions simulated per LLC-thrash round (2 cores x quota); the
+#: miss/fill/victim path is much slower per record than the hit path,
+#: so the round stays smaller than ``access_loop``.
+LLC_THRASH_INSTRUCTIONS = 20_000
 
 #: throughput floors (units/second) enforced by the strict benchmarks —
 #: loose enough for any reasonable machine, tight enough to catch a
@@ -40,6 +44,10 @@ CACHE_ARRAY_ACCESSES = 50_000
 FLOOR_ACCESS_LOOP = 30_000.0
 FLOOR_TRACE_GEN = 200_000.0
 FLOOR_CACHE_ARRAY = 200_000.0
+#: deliberately low: every record walks the full miss path (LLC miss,
+#: fill, inclusion victim), the slowest per-record work the simulator
+#: does.
+FLOOR_LLC_THRASH = 5_000.0
 
 
 @dataclass(frozen=True)
@@ -126,6 +134,36 @@ def cache_array_round() -> int:
     return count
 
 
+def llc_thrash_round() -> int:
+    """LLC-miss-dominated streaming: footprints ~4x the shared LLC.
+
+    Each core loops over a private sequential footprint four times the
+    LLC's line capacity, so after warm-up essentially every access
+    misses all three levels and exercises the fill / victim-selection /
+    inclusion-invalidate path — the opposite duty cycle of
+    ``access_loop``, whose records mostly hit in the L1.
+    """
+    from repro import CMPSimulator, SimConfig, baseline_hierarchy
+    from repro.workloads import core_address_offset, looping_trace
+
+    hierarchy = baseline_hierarchy(2, scale=SCALE)
+    footprint_lines = 4 * hierarchy.llc.num_lines
+    config = SimConfig(
+        hierarchy=hierarchy,
+        instruction_quota=LLC_THRASH_INSTRUCTIONS // 2,
+    )
+    traces = [
+        looping_trace(
+            footprint_lines,
+            line_size=hierarchy.llc.line_size,
+            base_address=core_address_offset(core_id),
+        )
+        for core_id in range(2)
+    ]
+    result = CMPSimulator(config, traces).run()
+    return result.total_instructions
+
+
 #: the pinned suite, in execution order.
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario
@@ -171,6 +209,14 @@ SCENARIOS: Dict[str, Scenario] = {
             floor=FLOOR_CACHE_ARRAY,
             round_fn=cache_array_round,
             description="single cache array fill/access churn",
+        ),
+        Scenario(
+            name="llc_thrash",
+            metric="instructions_per_s",
+            work=LLC_THRASH_INSTRUCTIONS,
+            floor=FLOOR_LLC_THRASH,
+            round_fn=llc_thrash_round,
+            description="streaming footprints 4x the LLC (miss-path bound)",
         ),
     )
 }

@@ -132,42 +132,42 @@ class DuplicateLineChecker(InvariantChecker):
 
     def _check_array(self, label: str, cache: Cache) -> List[Violation]:
         violations: List[Violation] = []
+        seen_slots = set()
+        mapped_per_set = [0] * cache.num_sets
+        for line_addr, way in cache.map_items():
+            set_index = cache.set_index_of(line_addr)
+            mapped_per_set[set_index] += 1
+            slot = (set_index, way)
+            if slot in seen_slots:
+                violations.append(
+                    self.violation(
+                        f"{label}: two map entries share one way",
+                        line_addr=line_addr,
+                        set_index=set_index,
+                        way=way,
+                    )
+                )
+            seen_slots.add(slot)
+            held_addr = cache.addr_at(set_index, way)
+            if held_addr != line_addr:
+                held = f"{held_addr:#x}" if held_addr is not None else "invalid"
+                violations.append(
+                    self.violation(
+                        f"{label}: map entry points at a way holding "
+                        f"{held}",
+                        line_addr=line_addr,
+                        set_index=set_index,
+                        way=way,
+                    )
+                )
         for set_index in range(cache.num_sets):
-            seen_ways = set()
-            mapped = cache._maps[set_index]
-            for line_addr, way in mapped.items():
-                line = cache.line_at(set_index, way)
-                if way in seen_ways:
-                    violations.append(
-                        self.violation(
-                            f"{label}: two map entries share one way",
-                            line_addr=line_addr,
-                            set_index=set_index,
-                            way=way,
-                        )
-                    )
-                seen_ways.add(way)
-                if not line.valid or line.line_addr != line_addr:
-                    held = f"{line.line_addr:#x}" if line.valid else "invalid"
-                    violations.append(
-                        self.violation(
-                            f"{label}: map entry points at a way holding "
-                            f"{held}",
-                            line_addr=line_addr,
-                            set_index=set_index,
-                            way=way,
-                        )
-                    )
-            valid_ways = sum(
-                1
-                for way in range(cache.associativity)
-                if cache.line_at(set_index, way).valid
-            )
-            if valid_ways != len(mapped):
+            valid_ways = cache.set_occupancy(set_index)
+            if valid_ways != mapped_per_set[set_index]:
                 violations.append(
                     self.violation(
                         f"{label}: {valid_ways} valid ways but "
-                        f"{len(mapped)} map entries (orphan line)",
+                        f"{mapped_per_set[set_index]} map entries "
+                        "(orphan line)",
                         set_index=set_index,
                     )
                 )
@@ -184,7 +184,7 @@ class DuplicateLineChecker(InvariantChecker):
                     f"capacity {victim_cache.num_entries}"
                 )
             )
-        for line_addr in victim_cache._entries:
+        for line_addr in victim_cache.resident_lines():
             if hierarchy.llc.contains(line_addr):
                 violations.append(
                     self.violation(

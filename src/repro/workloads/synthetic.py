@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from itertools import repeat as _repeat
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..access import AccessType
@@ -225,8 +226,29 @@ def _mixture_trace_numpy(
     """Batched numpy implementation of :func:`mixture_trace`.
 
     Draws random variates in blocks of 4096 and assembles records with
-    plain integer arithmetic; behaviourally equivalent to the Python
-    engine (same distributions), though the exact streams differ.
+    vectorised integer arithmetic; behaviourally equivalent to the
+    Python engine (same distributions), though the exact streams
+    differ.  The record stream is bit-identical to the historical
+    scalar numpy loop (the golden regression digests depend on it);
+    ``tests/workloads/test_synthetic_vector.py`` keeps a copy of that
+    scalar loop and asserts equivalence.
+
+    The batch is assembled in three passes:
+
+    1. the instruction-fetch cursor is reconstructed in closed form —
+       between branches it just counts up modulo the code footprint,
+       so each ifetch's cursor is ``(anchor + distance) % code_lines``
+       where the anchor is the most recent branch target;
+    2. data addresses are gathered in closed form when every region
+       has ``burst == 1`` (random offsets by a vectorised multiply,
+       sequential streams by a per-region ``arange`` — no Python loop
+       at all); bursty mixtures fall back to a *visit* loop with one
+       Python iteration per region visit (not per record) and burst
+       continuations filled by a C-level slice assignment;
+    3. records are materialised with a C-level ``map`` feeding
+       ``tuple.__new__`` so no per-record Python bytecode runs at all
+       (``TraceRecord._make`` is a Python-level classmethod and would
+       cost a frame per record).
     """
     rng = _np.random.RandomState(seed & 0x7FFF_FFFF)
     line = profile.line_size
@@ -253,55 +275,130 @@ def _mixture_trace_numpy(
     p_write = profile.write_fraction
     code_lines = profile.code_lines
 
-    ifetch = AccessType.IFETCH
-    load = AccessType.LOAD
-    store = AccessType.STORE
+    #: kind lookup by code: 0 = load, 1 = store, 2 = ifetch.
+    kind_table = [AccessType.LOAD, AccessType.STORE, AccessType.IFETCH]
 
     code_cursor = 0
     stream_cursors = [0] * len(regions)
     burst_address = 0
     burst_left = 0
     batch = 4096
+    record_new = tuple.__new__
+    record_cls = _repeat(TraceRecord)
+
+    # Burst-free mixtures (the common case) admit a fully vectorised
+    # data pass; only bursty profiles need the per-visit Python loop.
+    all_single_visit = all(b == 1 for b in region_burst)
+    lines_arr = _np.array(region_lines, dtype=_np.int64)
+    bases_arr = _np.array(region_bases, dtype=_np.int64)
+    seq_regions = [i for i, s in enumerate(region_sequential) if s]
 
     while True:
         if exp_mean > 0:
             gaps = rng.exponential(exp_mean, batch).astype(_np.int64).tolist()
         else:
             gaps = [0] * batch
-        u_type = rng.random_sample(batch).tolist()
-        u_branch = rng.random_sample(batch).tolist()
-        picks = _np.searchsorted(
-            cumulative, rng.random_sample(batch), side="left"
-        ).tolist()
-        u_offset = rng.random_sample(batch).tolist()
-        u_write = rng.random_sample(batch).tolist()
+        u_type = rng.random_sample(batch)
+        u_branch = rng.random_sample(batch)
+        picks = _np.searchsorted(cumulative, rng.random_sample(batch), side="left")
+        u_offset = rng.random_sample(batch)
+        u_write = rng.random_sample(batch)
 
-        for i in range(batch):
-            if u_type[i] < p_ifetch:
-                if u_branch[i] < p_branch:
-                    code_cursor = int(u_offset[i] * code_lines)
-                address = code_base + code_cursor * line
-                code_cursor += 1
-                if code_cursor >= code_lines:
-                    code_cursor = 0
-                yield TraceRecord(gaps[i], ifetch, address)
-                continue
+        is_ifetch = u_type < p_ifetch
+        addresses = _np.empty(batch, dtype=_np.int64)
+
+        # -- pass 1: instruction fetches, fully vectorised ------------------
+        ifetch_pos = _np.flatnonzero(is_ifetch)
+        count = len(ifetch_pos)
+        if count:
+            branched = u_branch[ifetch_pos] < p_branch
+            # Branch targets (the scalar loop computes int(u * lines)
+            # only on branches; computing it everywhere draws nothing
+            # extra and keeps the gather below branch-free).
+            targets = (u_offset[ifetch_pos] * code_lines).astype(_np.int64)
+            idx = _np.arange(count)
+            anchor = _np.maximum.accumulate(_np.where(branched, idx, -1))
+            has_anchor = anchor >= 0
+            base = _np.where(
+                has_anchor, targets[_np.maximum(anchor, 0)], code_cursor
+            )
+            rel = _np.where(has_anchor, idx - anchor, idx)
+            # A branch target is int(u * code_lines) with u < 1, which
+            # float rounding can land exactly on code_lines; the scalar
+            # loop then emits that out-of-range cursor once and wraps
+            # to 0 on the next fetch.  Reproduce both cases exactly.
+            cursors = _np.where(
+                rel == 0,
+                base,
+                _np.where(
+                    base >= code_lines,
+                    (rel - 1) % code_lines,
+                    (base + rel) % code_lines,
+                ),
+            )
+            addresses[ifetch_pos] = code_base + cursors * line
+            code_cursor = int(cursors[-1]) + 1
+            if code_cursor >= code_lines:
+                code_cursor = 0
+
+        # -- pass 2: data accesses ------------------------------------------
+        data_pos = _np.flatnonzero(~is_ifetch)
+        total = len(data_pos)
+        if total and all_single_visit:
+            # Closed form: every visit emits exactly one record, so the
+            # random offsets are a single vectorised multiply (the same
+            # float64 product the scalar loop truncates with ``int``)
+            # and each sequential stream is a modular ``arange`` from
+            # its carried cursor.
+            picks_d = picks[data_pos]
+            offsets = (u_offset[data_pos] * lines_arr[picks_d]).astype(
+                _np.int64
+            )
+            for index in seq_regions:
+                sel = _np.flatnonzero(picks_d == index)
+                visits = len(sel)
+                if visits:
+                    start = stream_cursors[index]
+                    nlines = region_lines[index]
+                    offsets[sel] = (start + _np.arange(visits)) % nlines
+                    stream_cursors[index] = (start + visits) % nlines
+            addresses[data_pos] = bases_arr[picks_d] + offsets * line
+        elif total:
+            data_addresses = _np.empty(total, dtype=_np.int64)
+            picks_d = picks[data_pos].tolist()
+            u_offset_d = u_offset[data_pos].tolist()
+            cursor = 0
             if burst_left > 0:
-                burst_left -= 1
-                address = burst_address
-            else:
-                index = picks[i]
+                take = burst_left if burst_left < total else total
+                data_addresses[:take] = burst_address
+                burst_left -= take
+                cursor = take
+            while cursor < total:
+                index = picks_d[cursor]
                 if region_sequential[index]:
                     offset = stream_cursors[index]
                     stream_cursors[index] = (offset + 1) % region_lines[index]
                 else:
-                    offset = int(u_offset[i] * region_lines[index])
+                    offset = int(u_offset_d[cursor] * region_lines[index])
                 address = region_bases[index] + offset * line
-                if region_burst[index] > 1:
+                burst = region_burst[index]
+                if burst > 1:
+                    stop = cursor + burst
+                    if stop > total:
+                        burst_left = stop - total
+                        stop = total
+                    data_addresses[cursor:stop] = address
                     burst_address = address
-                    burst_left = region_burst[index] - 1
-            kind = store if u_write[i] < p_write else load
-            yield TraceRecord(gaps[i], kind, address)
+                    cursor = stop
+                else:
+                    data_addresses[cursor] = address
+                    cursor += 1
+            addresses[data_pos] = data_addresses
+
+        # -- pass 3: C-level record assembly --------------------------------
+        kind_codes = _np.where(is_ifetch, 2, u_write < p_write)
+        kinds = map(kind_table.__getitem__, kind_codes.tolist())
+        yield from map(record_new, record_cls, zip(gaps, kinds, addresses.tolist()))
 
 
 # -- simple single-pattern generators (tests, examples, figure 3) -------------

@@ -129,16 +129,16 @@ class TestStagedPath:
     def test_select_victim_prefers_invalid(self):
         cache = small_cache(sets=1, ways=2)
         cache.fill(0)
-        way, line = cache.select_victim(0)
-        assert not line.valid
+        way, victim_addr = cache.select_victim(0)
+        assert victim_addr is None
 
     def test_evict_and_fill_way_roundtrip(self):
         cache = small_cache(sets=1, ways=2)
         cache.fill(0)
         cache.fill(1)
-        way, line = cache.select_victim(0)
+        way, victim_addr = cache.select_victim(0)
         evicted = cache.evict_way(0, way)
-        assert evicted.line_addr == line.line_addr
+        assert evicted.line_addr == victim_addr
         cache.fill_way(0, way, 2)
         assert cache.contains(2)
 

@@ -69,9 +69,9 @@ class TestStructuralInvariants:
             getattr(cache, op)(addr)
         for line_addr in cache.resident_lines():
             way = cache.way_of(line_addr)
-            line = cache.line_at(cache.set_index_of(line_addr), way)
-            assert line.valid
-            assert line.line_addr == line_addr
+            set_index = cache.set_index_of(line_addr)
+            assert cache.valid_at(set_index, way)
+            assert cache.addr_at(set_index, way) == line_addr
 
     @given(ops=OPS, policy=POLICIES)
     @settings(max_examples=40, deadline=None)
@@ -85,7 +85,7 @@ class TestStructuralInvariants:
             cache.fill(addr)
         excluded = set()
         for _ in range(4):
-            way, line = cache.select_victim(0, exclude_ways=excluded)
+            way, _addr = cache.select_victim(0, exclude_ways=excluded)
             assert 0 <= way < 4
             assert way not in excluded
             excluded.add(way)

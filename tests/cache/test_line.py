@@ -1,42 +1,62 @@
-"""Unit tests for CacheLine / EvictedLine."""
+"""Unit tests for the packed tag-store slot probes and EvictedLine."""
 
-from repro.cache import CacheLine, EvictedLine
+from repro.cache import Cache, EvictedLine
+from repro.config import CacheConfig
 
 
-class TestCacheLine:
-    def test_starts_invalid(self):
-        line = CacheLine()
-        assert not line.valid
-        assert not line.dirty
+def tiny_cache(sets=1, ways=2) -> Cache:
+    config = CacheConfig(
+        size_bytes=sets * ways * 64,
+        associativity=ways,
+        line_size=64,
+        replacement="lru",
+        name="test",
+    )
+    return Cache(config)
 
-    def test_fill(self):
-        line = CacheLine()
-        line.fill(0x42, dirty=True)
-        assert line.valid
-        assert line.dirty
-        assert line.line_addr == 0x42
 
-    def test_invalidate_clears_state(self):
-        line = CacheLine()
-        line.fill(0x42, dirty=True)
-        line.invalidate()
-        assert not line.valid
-        assert not line.dirty
+class TestSlotProbes:
+    """The per-slot probe API replaces the old CacheLine objects."""
+
+    def test_slots_start_invalid(self):
+        cache = tiny_cache()
+        assert not cache.valid_at(0, 0)
+        assert not cache.dirty_at(0, 0)
+        assert cache.addr_at(0, 0) is None
+
+    def test_fill_populates_slot(self):
+        cache = tiny_cache()
+        cache.fill(0x42, dirty=True)
+        way = cache.way_of(0x42)
+        assert cache.valid_at(0, way)
+        assert cache.dirty_at(0, way)
+        assert cache.addr_at(0, way) == 0x42
+
+    def test_invalidate_clears_slot(self):
+        cache = tiny_cache()
+        cache.fill(0x42, dirty=True)
+        way = cache.way_of(0x42)
+        cache.invalidate(0x42)
+        assert not cache.valid_at(0, way)
+        assert not cache.dirty_at(0, way)
+        assert cache.addr_at(0, way) is None
 
     def test_refill_resets_dirty(self):
-        line = CacheLine()
-        line.fill(1, dirty=True)
-        line.fill(2)
-        assert line.line_addr == 2
-        assert not line.dirty
+        cache = tiny_cache(ways=1)
+        cache.fill(0, dirty=True)
+        cache.fill(1)  # evicts line 0, reusing way 0
+        assert cache.addr_at(0, 0) == 1
+        assert not cache.dirty_at(0, 0)
 
-    def test_slots_prevent_arbitrary_attributes(self):
-        line = CacheLine()
-        try:
-            line.extra = 1
-        except AttributeError:
-            return
-        raise AssertionError("CacheLine should use __slots__")
+    def test_map_items_covers_residents(self):
+        cache = tiny_cache(sets=2, ways=2)
+        for addr in (0, 1, 2):
+            cache.fill(addr)
+        entries = dict(cache.map_items())
+        assert sorted(entries) == [0, 1, 2]
+        for line_addr, way in entries.items():
+            set_index = cache.set_index_of(line_addr)
+            assert cache.addr_at(set_index, way) == line_addr
 
 
 class TestEvictedLine:

@@ -1,0 +1,195 @@
+"""Packed tag store vs a naive dict-of-lines reference (hypothesis).
+
+The packed struct-of-arrays tag store (flat ``_addrs``/``_valid``/
+``_dirty`` slabs plus a residency map) replaced an object-per-line
+layout.  This module drives random access/fill/invalidate/promote
+traces through both the packed :class:`repro.cache.Cache` and a
+deliberately naive dict-of-lines model — one Python object per
+resident line, one ordered dict per set — and asserts the *complete
+observable sequence* is identical: every hit/miss result, every
+victim ``fill`` returns (address and dirty bit), every line
+``invalidate`` drops, and the final residency/dirty state.
+
+The reference is an oracle for the stock LRU configuration, where
+recency is a total order per set and the victim is always the least
+recently touched resident line (invalid ways absorb fills first, so
+eviction happens only when the set is full).
+"""
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import Cache
+from repro.config import CacheConfig
+
+
+class _Line:
+    """One resident line in the naive model (object-per-line layout)."""
+
+    __slots__ = ("dirty",)
+
+    def __init__(self, dirty: bool) -> None:
+        self.dirty = dirty
+
+
+class DictOfLinesLRU:
+    """Naive object-per-line LRU cache used as the oracle.
+
+    Each set is an :class:`OrderedDict` in LRU -> MRU order; every
+    touch (hit, refill, promote) moves the line to the MRU end, and a
+    fill into a full set pops the LRU end — exactly the order the
+    packed store's per-set recency stamps encode.
+    """
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.sets = [OrderedDict() for _ in range(num_sets)]
+
+    def _set(self, addr: int) -> OrderedDict:
+        return self.sets[addr % self.num_sets]
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        lines = self._set(addr)
+        line = lines.get(addr)
+        if line is None:
+            return False
+        lines.move_to_end(addr)
+        if write:
+            line.dirty = True
+        return True
+
+    def fill(
+        self, addr: int, dirty: bool = False
+    ) -> Optional[Tuple[int, bool]]:
+        lines = self._set(addr)
+        line = lines.get(addr)
+        if line is not None:
+            # Refill of a resident line: refresh recency, merge dirty.
+            line.dirty = line.dirty or dirty
+            lines.move_to_end(addr)
+            return None
+        victim = None
+        if len(lines) >= self.ways:
+            victim_addr, victim_line = lines.popitem(last=False)
+            victim = (victim_addr, victim_line.dirty)
+        lines[addr] = _Line(dirty)
+        return victim
+
+    def invalidate(self, addr: int) -> Optional[Tuple[int, bool]]:
+        lines = self._set(addr)
+        line = lines.pop(addr, None)
+        if line is None:
+            return None
+        return (addr, line.dirty)
+
+    def promote(self, addr: int) -> bool:
+        lines = self._set(addr)
+        if addr not in lines:
+            return False
+        lines.move_to_end(addr)
+        return True
+
+    def resident(self):
+        for lines in self.sets:
+            for addr, line in lines.items():
+                yield addr, line.dirty
+
+
+def _build(num_sets: int, ways: int) -> Cache:
+    return Cache(
+        CacheConfig(num_sets * ways * 64, ways, 64, "lru", name="packed")
+    )
+
+
+GEOMETRIES = st.sampled_from([(2, 2), (2, 4), (4, 2), (4, 4), (8, 2)])
+ADDRESSES = st.integers(min_value=0, max_value=127)
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "access",
+                "access_write",
+                "fill",
+                "fill_dirty",
+                "invalidate",
+                "promote",
+            ]
+        ),
+        ADDRESSES,
+    ),
+    max_size=300,
+)
+
+
+class TestPackedMatchesDictOfLines:
+    @given(geometry=GEOMETRIES, ops=OPS)
+    @settings(max_examples=120, deadline=None)
+    def test_full_observable_sequence_identical(self, geometry, ops):
+        num_sets, ways = geometry
+        packed = _build(num_sets, ways)
+        naive = DictOfLinesLRU(num_sets, ways)
+        for step, (op, addr) in enumerate(ops):
+            tag = f"step {step}: {op} {addr:#x}"
+            if op in ("access", "access_write"):
+                write = op == "access_write"
+                got = packed.access(addr, write=write)
+                want = naive.access(addr, write=write)
+                assert got == want, tag
+            elif op in ("fill", "fill_dirty"):
+                dirty = op == "fill_dirty"
+                evicted = packed.fill(addr, dirty=dirty)
+                want_victim = naive.fill(addr, dirty=dirty)
+                got_victim = (
+                    None
+                    if evicted is None
+                    else (evicted.line_addr, evicted.dirty)
+                )
+                assert got_victim == want_victim, tag
+            elif op == "invalidate":
+                dropped = packed.invalidate(addr)
+                want_drop = naive.invalidate(addr)
+                got_drop = (
+                    None
+                    if dropped is None
+                    else (dropped.line_addr, dropped.dirty)
+                )
+                assert got_drop == want_drop, tag
+            else:  # promote
+                assert packed.promote(addr) == naive.promote(addr), tag
+
+        # Final state: same resident lines with the same dirty bits,
+        # read back through the packed probe surface.
+        want_state = dict(naive.resident())
+        got_state = {
+            line_addr: packed.is_dirty(line_addr)
+            for line_addr in packed.resident_lines()
+        }
+        assert got_state == want_state
+
+    @given(geometry=GEOMETRIES, ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_probes_never_disturb_state(self, geometry, ops):
+        """Pure probes between operations observe the oracle's state."""
+        num_sets, ways = geometry
+        packed = _build(num_sets, ways)
+        naive = DictOfLinesLRU(num_sets, ways)
+        for op, addr in ops:
+            if op in ("access", "access_write"):
+                packed.access(addr, write=op == "access_write")
+                naive.access(addr, write=op == "access_write")
+            elif op in ("fill", "fill_dirty"):
+                packed.fill(addr, dirty=op == "fill_dirty")
+                naive.fill(addr, dirty=op == "fill_dirty")
+            elif op == "invalidate":
+                packed.invalidate(addr)
+                naive.invalidate(addr)
+            else:
+                packed.promote(addr)
+                naive.promote(addr)
+            resident = dict(naive.resident())
+            assert packed.contains(addr) == (addr in resident)
+            assert packed.is_dirty(addr) == resident.get(addr, False)
+            assert packed.occupancy() == len(resident)

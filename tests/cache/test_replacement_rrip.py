@@ -32,7 +32,7 @@ class TestSRRIP:
         policy = SRRIPPolicy(1, 2)
         policy.on_fill(0, 0)  # rrpv 2
         policy.on_hit(0, 1)  # rrpv 0 via hit on invalid slot state
-        policy._rrpv[0][1] = 1
+        policy._rrpv[1] = 1
         victim = policy.select_victim(0)
         assert victim == 0  # higher RRPV evicted first
 

@@ -36,3 +36,11 @@ def fudge_counters(cache):
     # CS4: stats counters mutated outside their owning layers.
     cache.stats.hits += 1
     cache.stats.misses = 0
+
+
+def fudge_packed_counters(hierarchy):
+    # CS4 (widened for the packed cache layout): per-core stats through
+    # a subscripted container, and a *_stats local alias.
+    hierarchy.core_stats[0].llc_misses += 1
+    core_stats = hierarchy.core_stats[1]
+    core_stats.l1d_accesses = 7

@@ -33,7 +33,9 @@ def test_fixture_triggers_every_rule():
     assert len(by_rule["CS1"]) == 3  # evict_way, fill_way, invalidate
     assert len(by_rule["CS2"]) == 4  # from-import, randint, Random(), numpy
     assert len(by_rule["CS3"]) == 1  # time.time
-    assert len(by_rule["CS4"]) == 2  # += and = on stats counters
+    # += and = on .stats counters, plus the widened packed-layout
+    # forms: subscripted core_stats[i] and a *_stats local alias.
+    assert len(by_rule["CS4"]) == 4
 
 
 def test_violation_rendering_is_clickable():

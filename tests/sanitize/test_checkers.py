@@ -205,8 +205,8 @@ def test_duplicate_line_checker_flags_map_corruption():
     line_addr = next(iter(llc.resident_lines()))
     set_index = llc.set_index_of(line_addr)
     # scribble the tag map so it points at the wrong way
-    way = llc._maps[set_index][line_addr]
-    llc._maps[set_index][line_addr] = (way + 1) % llc.associativity
+    way = llc._map[line_addr]
+    llc._map[line_addr] = (way + 1) % llc.associativity
     with pytest.raises(SanitizerError, match="duplicate-line"):
         hierarchy.sanitizer.run()
 
@@ -215,7 +215,7 @@ def test_replacement_metadata_checker_flags_bad_stack():
     hierarchy = sanitized(llc_replacement="lru")
     warm_up(hierarchy)
     policy = hierarchy.llc.policy
-    policy._stacks[0][0] = policy._stacks[0][1]  # no longer a permutation
+    policy._stamp[0] = policy._stamp[1]  # stamps no longer distinct
     with pytest.raises(SanitizerError, match="replacement-metadata"):
         hierarchy.sanitizer.run()
 
