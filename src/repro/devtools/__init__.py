@@ -1,6 +1,17 @@
 """Developer tooling that guards the simulator's structure.
 
-Currently one tool: :mod:`repro.devtools.lint`, a custom AST lint
-enforcing the repository's simulation-hygiene rules (run it with
-``python -m repro.devtools.lint``).
+Two static-analysis tools share one parse of the tree
+(:mod:`repro.devtools.project`):
+
+* :mod:`repro.devtools.lint` — file-local simulation-hygiene rules
+  CS1–CS4 (``python -m repro.devtools lint``, or the historical
+  ``python -m repro.devtools.lint``);
+* :mod:`repro.devtools.analyze` — ReproCheck, the whole-program
+  analyzer: determinism taint dataflow (DX), process-safety (PX) and
+  hot-path checks (HX) over a project-wide import graph and
+  approximate call graph (``python -m repro.devtools analyze``).
+
+Deliberate exceptions live in ``analyze_baseline.json`` (one
+justification per entry) or as inline ``# repro: allow[RULE]``
+escapes; see the README "Static analysis" section.
 """

@@ -1,0 +1,33 @@
+"""Entry point: ``python -m repro.devtools <analyze|lint> [args...]``."""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from . import analyze, lint
+
+USAGE = """usage: python -m repro.devtools <command> [args...]
+
+commands:
+  analyze   whole-program determinism/process-safety/hot-path analysis
+  lint      file-local simulation-hygiene lint (CS1-CS4)
+"""
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in {"-h", "--help"}:
+        print(USAGE, end="")
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "analyze":
+        return analyze.main(rest)
+    if command == "lint":
+        return lint.main(rest)
+    print(f"unknown command {command!r}\n{USAGE}", file=sys.stderr, end="")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

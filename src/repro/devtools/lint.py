@@ -41,6 +41,11 @@ that defines them.  This module walks the AST of every file under
 
 Run as ``python -m repro.devtools.lint [paths...]`` (exit 1 on
 violations) or through :func:`run_lint` from tests.
+
+File parsing goes through the shared one-parse cache in
+:mod:`repro.devtools.project`, so running this lint and
+``repro.devtools.analyze`` in one process parses each file exactly
+once.
 """
 
 from __future__ import annotations
@@ -49,7 +54,10 @@ import ast
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
+
+from .project import dotted_parts as _dotted_parts
+from .project import iter_python_files, parse_module
 
 #: staged cache-state mutators (CS1) and the layers allowed to call them.
 STAGED_MUTATORS = frozenset(
@@ -86,20 +94,6 @@ class LintViolation:
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
-
-
-def _dotted_parts(node: ast.expr) -> List[str]:
-    """Flatten an ``a.b.c`` attribute chain into ``["a", "b", "c"]``."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-    else:
-        parts.append("?")
-    parts.reverse()
-    return parts
 
 
 class _Visitor(ast.NodeVisitor):
@@ -232,48 +226,25 @@ def _is_stats_owner(owner: ast.expr) -> bool:
     return False
 
 
-def _zone_of(path: Path) -> Optional[str]:
-    """Return the repro sub-package a file belongs to (None if outside).
-
-    The zone is the first path component under the ``repro`` package
-    root (e.g. ``.../repro/hierarchy/base.py`` -> ``"hierarchy"``);
-    files directly in the root get ``""`` and files outside any
-    ``repro`` package get ``None``, which disables every zone
-    allowance.
-    """
-    resolved = path.resolve()
-    for parent in resolved.parents:
-        if parent.name == "repro" and (parent / "__init__.py").exists():
-            relative = resolved.relative_to(parent).parts
-            return relative[0] if len(relative) > 1 else ""
-    return None
-
-
 def check_file(path: Path) -> List[LintViolation]:
-    """Lint one Python file; returns its violations."""
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
+    """Lint one Python file; returns its violations.
+
+    Parsing is delegated to the shared (cached) one-parse project
+    layer, so a file already parsed by the analyzer in this process
+    is not parsed again.
+    """
+    module = parse_module(Path(path))
+    if module.error is not None:
+        exc = module.error
         return [
             LintViolation(
                 str(path), exc.lineno or 0, exc.offset or 0, "CS0",
                 f"syntax error: {exc.msg}",
             )
         ]
-    visitor = _Visitor(str(path), _zone_of(path))
-    visitor.visit(tree)
+    visitor = _Visitor(str(path), module.zone)
+    visitor.visit(module.tree)
     return visitor.violations
-
-
-def _python_files(paths: Iterable[Path]) -> List[Path]:
-    files: List[Path] = []
-    for path in paths:
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        else:
-            files.append(path)
-    return files
 
 
 def run_lint(paths: Optional[Sequence[Path]] = None) -> List[LintViolation]:
@@ -281,7 +252,7 @@ def run_lint(paths: Optional[Sequence[Path]] = None) -> List[LintViolation]:
     if paths is None:
         paths = [Path(__file__).resolve().parents[1]]
     violations: List[LintViolation] = []
-    for file in _python_files(Path(p) for p in paths):
+    for file, _rel in iter_python_files(Path(p) for p in paths):
         violations.extend(check_file(file))
     return violations
 

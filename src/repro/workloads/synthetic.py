@@ -293,44 +293,54 @@ def _mixture_trace_numpy(
     bases_arr = _np.array(region_bases, dtype=_np.int64)
     seq_regions = [i for i, s in enumerate(region_sequential) if s]
 
+    # Per-batch bindings hoisted out of the generation loop (HX2/HX1):
+    # bound methods and dtype objects are immutable, and the zero-gap
+    # list is only ever read, so one shared instance is safe.
+    np_int64 = _np.int64
+    np_where = _np.where
+    np_flatnonzero = _np.flatnonzero
+    np_accumulate = _np.maximum.accumulate
+    random_sample = rng.random_sample
+    zero_gaps = [0] * batch
+
     while True:
         if exp_mean > 0:
-            gaps = rng.exponential(exp_mean, batch).astype(_np.int64).tolist()
+            gaps = rng.exponential(exp_mean, batch).astype(np_int64).tolist()
         else:
-            gaps = [0] * batch
-        u_type = rng.random_sample(batch)
-        u_branch = rng.random_sample(batch)
-        picks = _np.searchsorted(cumulative, rng.random_sample(batch), side="left")
-        u_offset = rng.random_sample(batch)
-        u_write = rng.random_sample(batch)
+            gaps = zero_gaps
+        u_type = random_sample(batch)
+        u_branch = random_sample(batch)
+        picks = _np.searchsorted(cumulative, random_sample(batch), side="left")
+        u_offset = random_sample(batch)
+        u_write = random_sample(batch)
 
         is_ifetch = u_type < p_ifetch
-        addresses = _np.empty(batch, dtype=_np.int64)
+        addresses = _np.empty(batch, dtype=np_int64)
 
         # -- pass 1: instruction fetches, fully vectorised ------------------
-        ifetch_pos = _np.flatnonzero(is_ifetch)
+        ifetch_pos = np_flatnonzero(is_ifetch)
         count = len(ifetch_pos)
         if count:
             branched = u_branch[ifetch_pos] < p_branch
             # Branch targets (the scalar loop computes int(u * lines)
             # only on branches; computing it everywhere draws nothing
             # extra and keeps the gather below branch-free).
-            targets = (u_offset[ifetch_pos] * code_lines).astype(_np.int64)
+            targets = (u_offset[ifetch_pos] * code_lines).astype(np_int64)
             idx = _np.arange(count)
-            anchor = _np.maximum.accumulate(_np.where(branched, idx, -1))
+            anchor = np_accumulate(np_where(branched, idx, -1))
             has_anchor = anchor >= 0
-            base = _np.where(
+            base = np_where(
                 has_anchor, targets[_np.maximum(anchor, 0)], code_cursor
             )
-            rel = _np.where(has_anchor, idx - anchor, idx)
+            rel = np_where(has_anchor, idx - anchor, idx)
             # A branch target is int(u * code_lines) with u < 1, which
             # float rounding can land exactly on code_lines; the scalar
             # loop then emits that out-of-range cursor once and wraps
             # to 0 on the next fetch.  Reproduce both cases exactly.
-            cursors = _np.where(
+            cursors = np_where(
                 rel == 0,
                 base,
-                _np.where(
+                np_where(
                     base >= code_lines,
                     (rel - 1) % code_lines,
                     (base + rel) % code_lines,

@@ -1,0 +1,1 @@
+"""DX1 fixture: wall-clock read flowing cross-module into a RunSummary."""

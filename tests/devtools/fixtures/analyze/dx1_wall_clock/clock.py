@@ -1,0 +1,7 @@
+"""The nondeterminism source: a host wall-clock read."""
+
+import time
+
+
+def now_stamp():
+    return time.time()

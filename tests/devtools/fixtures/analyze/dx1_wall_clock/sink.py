@@ -1,0 +1,15 @@
+"""The determinism sink: builds the run summary.
+
+File-local lint sees nothing wrong in this module — the wall-clock
+read lives in ``clock.py`` and only the whole-program taint pass
+connects it to the ``RunSummary`` construction below.
+"""
+
+from repro.orchestrate.job import RunSummary
+
+from .clock import now_stamp
+
+
+def summarize(job):
+    stamp = now_stamp()
+    return RunSummary(job, stamp)

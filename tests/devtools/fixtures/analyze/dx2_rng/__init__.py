@@ -1,0 +1,1 @@
+"""DX2 fixture: unseeded randomness flowing into job_key."""

@@ -1,0 +1,14 @@
+"""Seeds the job key from the unseeded global RNG."""
+
+import random
+
+from repro.orchestrate.job import job_key
+
+
+def fresh_seed():
+    return random.random()
+
+
+def keyed_config(config):
+    seed = fresh_seed()
+    return job_key(config, seed)

@@ -1,0 +1,1 @@
+"""DX3 fixture: environment read at a use site, not the config boundary."""

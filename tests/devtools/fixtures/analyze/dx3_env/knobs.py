@@ -1,0 +1,7 @@
+"""Reads the environment where the value is consumed."""
+
+import os
+
+
+def batch_size():
+    return int(os.getenv("REPRO_BATCH", "64"))

@@ -1,0 +1,1 @@
+"""DX4 fixture: an id() value flowing into SimJob identity."""

@@ -1,0 +1,11 @@
+"""Tags jobs with a process-dependent id() value."""
+
+from repro.orchestrate.job import SimJob
+
+
+def trace_tag(trace):
+    return id(trace)
+
+
+def build_job(trace):
+    return SimJob(trace, trace_tag(trace))

@@ -1,0 +1,1 @@
+"""DX5 fixture: set iteration order escaping into an exporter payload."""

@@ -1,0 +1,14 @@
+"""Iterates a set into the events exporter."""
+
+from repro.telemetry.events import write_events_jsonl
+
+
+def unique_kinds(records):
+    kinds = []
+    for kind in {record.kind for record in records}:
+        kinds.append(kind)
+    return kinds
+
+
+def export(path, records):
+    write_events_jsonl(path, unique_kinds(records))

@@ -1,0 +1,1 @@
+"""HX1 fixture: per-iteration container allocation in a hot loop."""

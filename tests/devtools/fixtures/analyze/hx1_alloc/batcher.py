@@ -1,0 +1,8 @@
+"""Allocates a fresh container every iteration."""
+
+
+def pair_up(rows):  # repro: hot
+    pairs = []
+    for row in rows:
+        pairs.append([row, row + 1])
+    return pairs

@@ -1,0 +1,1 @@
+"""HX2 fixture: deep attribute chain reloaded every iteration."""

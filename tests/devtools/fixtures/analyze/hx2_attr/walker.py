@@ -1,0 +1,8 @@
+"""Reloads a deep attribute chain inside a hot loop."""
+
+
+def tally_hits(core, steps):  # repro: hot
+    total = 0
+    for _ in range(steps):
+        total += core.stats.hits
+    return total

@@ -1,0 +1,1 @@
+"""HX3 fixture: try/except inside a hot loop body."""

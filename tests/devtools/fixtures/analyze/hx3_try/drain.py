@@ -1,0 +1,12 @@
+"""Handles an exception in the per-iteration path."""
+
+
+def drain(feed):  # repro: hot
+    count = 0
+    while True:
+        try:
+            next(feed)
+        except StopIteration:
+            break
+        count += 1
+    return count

@@ -1,0 +1,1 @@
+"""PX1 fixture: an unpicklable lambda shipped as a worker payload."""

@@ -1,0 +1,5 @@
+"""Ships a lambda over the worker pipe."""
+
+
+def run_deferred(pool, job):
+    return pool.submit(lambda: job.run())

@@ -1,0 +1,1 @@
+"""PX2 fixture: module-level mutable global written after import."""

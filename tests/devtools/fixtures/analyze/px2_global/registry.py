@@ -1,0 +1,7 @@
+"""Populates a module-level table from inside a function."""
+
+_TABLE = {}
+
+
+def remember(name, policy):
+    _TABLE[name] = policy

@@ -1,0 +1,1 @@
+"""PX3 fixture: an OS handle bound at module import time."""

@@ -1,0 +1,3 @@
+"""Binds a file handle at import time."""
+
+AUDIT_LOG = open("audit.log", "a")
