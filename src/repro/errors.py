@@ -67,3 +67,38 @@ class OrchestrationError(ExperimentError):
 
 class UnknownPolicyError(ConfigurationError):
     """A replacement or TLA policy name did not match any registered one."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the ``repro.service`` layer."""
+
+
+class SweepSpecError(ServiceError):
+    """A submitted sweep specification failed validation.
+
+    Raised before any job is admitted, so a bad spec never occupies
+    queue capacity; the HTTP layer maps it to ``400 Bad Request`` with
+    the validation errors in the response body.
+    """
+
+
+class AdmissionError(ServiceError):
+    """The service refused a sweep for capacity reasons (HTTP 429).
+
+    ``retry_after`` is the backpressure hint (seconds) surfaced as the
+    ``Retry-After`` response header.  Admission is all-or-nothing: a
+    refused sweep admits none of its jobs, so a retried submission is
+    idempotent thanks to job-key dedup.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QueueFullError(AdmissionError):
+    """The bounded admission queue has no room for the sweep's jobs."""
+
+
+class QuotaExceededError(AdmissionError):
+    """A tenant's queued-jobs or queued-instructions budget is spent."""

@@ -25,6 +25,7 @@ caches if you have the patience.
 """
 
 from .runner import ExperimentSettings, Runner, RunSummary, cache_key
+from .remote import RemoteRunner, ServiceClient
 from .tables import table1, table2
 from .figures import (
     figure2,
@@ -45,8 +46,10 @@ from . import export
 
 __all__ = [
     "ExperimentSettings",
+    "RemoteRunner",
     "Runner",
     "RunSummary",
+    "ServiceClient",
     "cache_key",
     "table1",
     "table2",

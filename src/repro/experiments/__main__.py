@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments table1
     python -m repro.experiments -j 4 figure7
+    python -m repro.experiments --submit http://127.0.0.1:8321 table1
     python -m repro.experiments all
 
 Fidelity knobs come from the environment (see
@@ -86,6 +87,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="attribute the simulator's own wall time to host phases "
         "and print the per-phase report (overrides REPRO_HOST_PHASES)",
     )
+    parser.add_argument(
+        "--submit",
+        metavar="URL",
+        default=None,
+        help="execute simulations on a repro.service instance at URL "
+        "(e.g. http://127.0.0.1:8321) instead of locally",
+    )
+    parser.add_argument(
+        "--tenant",
+        default=None,
+        help="tenant name sent with --submit requests "
+        "(quota accounting; default: the shared 'public' tenant)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -116,7 +130,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         RunTelemetry(telemetry_config) if telemetry_config.active else None
     )
     reporter = ProgressReporter(enabled=True if args.progress else None)
-    runner = Runner(settings, reporter=reporter, telemetry=run_telemetry)
+    if args.submit:
+        from .remote import RemoteRunner
+
+        runner: Runner = RemoteRunner(
+            args.submit,
+            settings,
+            reporter=reporter,
+            telemetry=run_telemetry,
+            tenant=args.tenant,
+        )
+    else:
+        runner = Runner(settings, reporter=reporter, telemetry=run_telemetry)
     print(
         f"# settings: scale={settings.scale} quota={settings.quota} "
         f"warmup={settings.warmup} sample={settings.sample} "

@@ -30,9 +30,15 @@ hands them here.  ``REPRO_JOBS`` / ``--jobs`` select the worker count
 
 from .cache import ResultCache
 from .job import CACHE_SCHEMA, RunSummary, SimJob, execute_job, job_key
-from .manifest import ManifestRecord, SweepManifest
+from .manifest import (
+    STATUS_CANCELLED,
+    STATUS_DONE,
+    STATUS_FAILED,
+    ManifestRecord,
+    SweepManifest,
+)
 from .pool import WorkerPool
-from .scheduler import Orchestrator
+from .scheduler import Orchestrator, compact_host
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -40,9 +46,13 @@ __all__ = [
     "Orchestrator",
     "ResultCache",
     "RunSummary",
+    "STATUS_CANCELLED",
+    "STATUS_DONE",
+    "STATUS_FAILED",
     "SimJob",
     "SweepManifest",
     "WorkerPool",
+    "compact_host",
     "execute_job",
     "job_key",
 ]

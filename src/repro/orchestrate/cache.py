@@ -11,6 +11,7 @@ per entry.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional
@@ -66,4 +67,16 @@ class ResultCache:
             for optional in ("intervals", "telemetry"):
                 if data.get(optional) is None:
                     data.pop(optional, None)
-            path.write_text(json.dumps(data))
+            # Atomic publish: write the entry to a sibling temp file and
+            # os.replace() it into place.  A process killed mid-write can
+            # only ever leave a stray ``*.tmp`` behind — never a truncated
+            # ``<key>.json`` that would poison later readers (the service
+            # serves this directory to concurrent clients, so a corrupt
+            # entry would be replayed, not recomputed, forever).
+            # The temp name carries the pid so two *processes* sharing a
+            # cache directory (a CLI sweep next to a running service)
+            # never interleave bytes in one temp file; last replace wins
+            # with an identical payload either way (content-hash key).
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(data))
+            os.replace(tmp, path)

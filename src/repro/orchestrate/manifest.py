@@ -20,6 +20,8 @@ from typing import Dict, Optional, Set, Union
 #: terminal job states recorded in the journal.
 STATUS_DONE = "done"
 STATUS_FAILED = "failed"
+#: drained from the queue before execution (never ran, nothing cached).
+STATUS_CANCELLED = "cancelled"
 
 
 @dataclass(frozen=True)

@@ -149,6 +149,16 @@ class WorkerPool:
         return sum(1 for worker in self._workers if worker.busy)
 
     @property
+    def idle_count(self) -> int:
+        """Workers ready for :meth:`submit` right now.
+
+        The service broker dispatches exactly this many jobs per
+        scheduling round, so one admission queue multiplexes every
+        client's sweep over the single shared pool.
+        """
+        return sum(1 for worker in self._workers if not worker.busy)
+
+    @property
     def has_idle(self) -> bool:
         return any(not worker.busy for worker in self._workers)
 

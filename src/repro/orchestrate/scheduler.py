@@ -30,7 +30,12 @@ from ..perf.phase import (
 from ..telemetry import get_logger
 from .cache import ResultCache
 from .job import execute_job, job_key
-from .manifest import STATUS_DONE, STATUS_FAILED, SweepManifest
+from .manifest import (
+    STATUS_CANCELLED,
+    STATUS_DONE,
+    STATUS_FAILED,
+    SweepManifest,
+)
 from .pool import EVENT_OK, WorkerPool
 
 log = get_logger("repro.orchestrate")
@@ -58,6 +63,7 @@ class Orchestrator:
         context=None,
         telemetry=None,
         phase_timer=None,
+        on_job_done: Optional[Callable[[str, str, Any, int], None]] = None,
     ) -> None:
         if retries < 0:
             raise OrchestrationError("retries must be >= 0")
@@ -81,8 +87,23 @@ class Orchestrator:
         #: sweep's wall time to orchestrate_overhead / execute_job /
         #: pool_wait; None keeps scheduling loops hook-free.
         self.phase_timer = phase_timer
+        #: broker hook: called as ``(key, status, payload, attempts)``
+        #: after every terminal job outcome — the RunSummary for
+        #: ``"done"``, the error string for ``"failed"`` — so a service
+        #: layer can stream per-job digests without wrapping ``run``.
+        self.on_job_done = on_job_done
         #: key -> final error message of permanently failed jobs (last run).
         self.failures: Dict[str, str] = {}
+        #: key -> reason of jobs cancelled while still queued (last run).
+        self.cancelled: Dict[str, str] = {}
+        #: keys whose *queued* execution should be skipped.  A plain set
+        #: mutated only via :meth:`cancel`; membership tests happen in
+        #: the scheduling loops, so a cancel from another thread takes
+        #: effect at the next dispatch decision (in-flight jobs finish).
+        self._cancel_requested: set = set()
+        #: jobs actually executed (not served from cache) in the last
+        #: run — the counter service/e2e tests assert dedup against.
+        self.executed_count = 0
         #: host digests of executed jobs (cache hits carry none); the
         #: raw material for sweep-level throughput aggregation.
         self.host_digests: List[Dict[str, Any]] = []
@@ -128,6 +149,8 @@ class Orchestrator:
                         self.telemetry.note_cached(key, self._label(ordered[key]))
         pending = [(key, job) for key, job in ordered.items() if key not in results]
         self.failures = {}
+        self.cancelled = {}
+        self.executed_count = 0
         self._total = len(ordered)
         self._completed = len(results)
         self._workers = min(self.jobs, len(pending)) or 1
@@ -147,7 +170,9 @@ class Orchestrator:
                         remaining = [
                             (key, job)
                             for key, job in pending
-                            if key not in results and key not in self.failures
+                            if key not in results
+                            and key not in self.failures
+                            and key not in self.cancelled
                         ]
                         self._run_serial(remaining, results)
         finally:
@@ -164,6 +189,32 @@ class Orchestrator:
             )
         return results
 
+    def cancel(self, keys) -> None:
+        """Drain ``keys`` from the queue without killing in-flight work.
+
+        Thread-safe (a set update under the GIL): a service thread can
+        cancel while :meth:`run` executes on another.  Only jobs still
+        *queued* are affected — each is skipped at its next dispatch
+        decision and recorded in :attr:`cancelled` (and the manifest)
+        instead of executing; jobs already on a worker run to
+        completion, so their results still land in the shared cache.
+        """
+        self._cancel_requested.update(keys)
+
+    def _cancel_if_requested(self, key: str, job: Any) -> bool:
+        if key not in self._cancel_requested:
+            return False
+        self.cancelled[key] = "cancelled while queued"
+        log.info("job_cancelled", key=key, label=self._label(job))
+        if self.manifest is not None:
+            self.manifest.record(
+                key, STATUS_CANCELLED, label=self._label(job)
+            )
+        if self.on_job_done is not None:
+            self.on_job_done(key, STATUS_CANCELLED, "cancelled while queued", 0)
+        self._report()
+        return True
+
     # -- execution strategies --------------------------------------------------
     def _run_serial(
         self, pending: Sequence[Tuple[str, Any]], results: Dict[str, Any]
@@ -176,6 +227,8 @@ class Orchestrator:
         """
         timer = self.phase_timer
         for key, job in pending:
+            if self._cancel_if_requested(key, job):
+                continue
             attempts = 0
             self._started[key] = self._now()
             while True:
@@ -226,6 +279,8 @@ class Orchestrator:
                     if not pool.has_idle:
                         break
                     key, job = queue.popleft()
+                    if self._cancel_if_requested(key, job):
+                        continue
                     if ready_at.get(key, 0.0) <= now:
                         self._started.setdefault(key, self._now())
                         pool.submit(key, job)
@@ -299,6 +354,7 @@ class Orchestrator:
     ) -> None:
         results[key] = result
         self._completed += 1
+        self.executed_count += 1
         # Single-writer discipline: only the parent stores, so parallel
         # cache entries are byte-identical to serial ones.
         if self.cache is not None:
@@ -312,7 +368,7 @@ class Orchestrator:
                 STATUS_DONE,
                 attempts=attempts,
                 label=self._label(job),
-                host=_compact_host(host),
+                host=compact_host(host),
             )
         if self.telemetry is not None:
             end = self.telemetry.now()
@@ -330,6 +386,8 @@ class Orchestrator:
             note = getattr(self.reporter, "note_result", None)
             if note is not None:
                 note(result)
+        if self.on_job_done is not None:
+            self.on_job_done(key, STATUS_DONE, result, attempts)
         self._report()
 
     def _fail(self, key: str, job: Any, error: str, attempts: int) -> None:
@@ -360,6 +418,8 @@ class Orchestrator:
                 end=end,
                 error=error,
             )
+        if self.on_job_done is not None:
+            self.on_job_done(key, STATUS_FAILED, error, attempts)
         self._report()
 
     def _report(self, running: int = 0) -> None:
@@ -372,8 +432,12 @@ class Orchestrator:
             )
 
 
-def _compact_host(host: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
-    """Lean per-job host digest for the manifest journal (no phases)."""
+def compact_host(host: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Lean per-job host digest for the manifest journal (no phases).
+
+    Also the digest the service layer streams on sweep event feeds, so
+    the shape is part of the NDJSON contract (see ``repro.service``).
+    """
     if not host:
         return None
     keep = (

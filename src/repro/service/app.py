@@ -1,0 +1,343 @@
+"""The HTTP surface: a stdlib router over the job broker.
+
+``ThreadingHTTPServer`` + ``BaseHTTPRequestHandler`` only — the repo
+runs on a bare pytest+numpy image, so there is no web framework to
+lean on.  The router is a flat table of ``(method, pattern, handler)``
+rows; handlers are small methods that translate HTTP to broker calls
+and :mod:`repro.errors` exceptions to status codes:
+
+========================================  =============================
+``POST   /v1/sweeps``                     validate spec, admit, 201
+``GET    /v1/sweeps/{id}``                poll status JSON
+``GET    /v1/sweeps/{id}/events``         NDJSON progress feed
+``DELETE /v1/sweeps/{id}``                drain queued jobs
+``GET    /v1/jobs/{key}/result``          fetch a cached RunSummary
+``GET    /v1/healthz``                    liveness
+``GET    /v1/metrics``                    counters + host digests
+========================================  =============================
+
+Error mapping: :class:`~repro.errors.SweepSpecError` → 400,
+unknown ids → 404, :class:`~repro.errors.AdmissionError` → 429 with a
+``Retry-After`` header.  Every response is JSON; the events feed is
+``application/x-ndjson`` (one progress event per line, streamed until
+the sweep reaches a terminal state unless ``?follow=0``).
+
+Each handler thread serves one request at a time, so a streaming
+events client costs one thread — fine for the polling clients this is
+built for; queue-depth style pressure belongs on the broker's
+admission control, not on connection counts.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+import threading
+
+from ..errors import AdmissionError, SweepSpecError
+from ..telemetry import get_logger
+from .broker import SWEEP_RUNNING, JobBroker
+from .config import ServiceConfig
+from .schemas import expand_spec, summary_to_dict
+
+log = get_logger("repro.service.http")
+
+#: (HTTP method, path regex, handler attribute, counter label).
+ROUTES: Tuple[Tuple[str, str, str, str], ...] = (
+    ("GET", r"^/v1/healthz$", "handle_healthz", "GET /v1/healthz"),
+    ("GET", r"^/v1/metrics$", "handle_metrics", "GET /v1/metrics"),
+    ("POST", r"^/v1/sweeps$", "handle_submit", "POST /v1/sweeps"),
+    (
+        "GET",
+        r"^/v1/sweeps/(?P<sweep_id>[A-Za-z0-9_.-]+)$",
+        "handle_sweep",
+        "GET /v1/sweeps/{id}",
+    ),
+    (
+        "DELETE",
+        r"^/v1/sweeps/(?P<sweep_id>[A-Za-z0-9_.-]+)$",
+        "handle_cancel",
+        "DELETE /v1/sweeps/{id}",
+    ),
+    (
+        "GET",
+        r"^/v1/sweeps/(?P<sweep_id>[A-Za-z0-9_.-]+)/events$",
+        "handle_events",
+        "GET /v1/sweeps/{id}/events",
+    ),
+    (
+        "GET",
+        r"^/v1/jobs/(?P<key>[0-9a-f]{40})/result$",
+        "handle_result",
+        "GET /v1/jobs/{key}/result",
+    ),
+)
+
+_COMPILED = tuple(
+    (method, re.compile(pattern), handler, label)
+    for method, pattern, handler, label in ROUTES
+)
+
+#: tenant header; absent or empty means the shared "public" tenant.
+TENANT_HEADER = "X-Repro-Tenant"
+
+
+class ReproServiceServer(ThreadingHTTPServer):
+    """The listening server: broker + config + request counters."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        broker: JobBroker,
+        config: ServiceConfig,
+        settings=None,
+    ) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.broker = broker
+        self.config = config
+        #: fidelity defaults for ``grid`` specs (an
+        #: :class:`~repro.experiments.ExperimentSettings`).
+        self.settings = settings
+        self._counter_lock = threading.Lock()
+        self._request_counts: Dict[str, int] = {}
+
+    def count_request(self, label: str, status: int) -> None:
+        with self._counter_lock:
+            key = f"{label} {status}"
+            self._request_counts[key] = self._request_counts.get(key, 0) + 1
+
+    def request_counts(self) -> Dict[str, int]:
+        with self._counter_lock:
+            return dict(self._request_counts)
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes one request to a ``handle_*`` method; JSON in, JSON out."""
+
+    protocol_version = "HTTP/1.1"
+    server: ReproServiceServer
+
+    # -- routing ---------------------------------------------------------------
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        self._query = parse_qs(split.query)
+        allowed: List[str] = []
+        for route_method, pattern, handler, label in _COMPILED:
+            match = pattern.match(split.path)
+            if match is None:
+                continue
+            if route_method != method:
+                allowed.append(route_method)
+                continue
+            self._route_label = label
+            try:
+                getattr(self, handler)(**match.groupdict())
+            except SweepSpecError as exc:
+                self._send_json(400, {"error": str(exc)})
+            except AdmissionError as exc:
+                self._send_json(
+                    429,
+                    {"error": str(exc), "retry_after_s": exc.retry_after},
+                    extra_headers={
+                        "Retry-After": str(max(1, int(exc.retry_after)))
+                    },
+                )
+            except (BrokenPipeError, ConnectionResetError):
+                raise
+            except Exception as exc:  # noqa: BLE001 — 500, never a hang
+                log.error(
+                    "handler_error",
+                    route=label,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                self._send_json(500, {"error": "internal error"})
+            return
+        self._route_label = "unmatched"
+        if allowed:
+            self._send_json(
+                405,
+                {"error": f"method {method} not allowed"},
+                extra_headers={"Allow": ", ".join(sorted(set(allowed)))},
+            )
+        else:
+            self._send_json(404, {"error": f"no such resource {split.path}"})
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    # -- handlers --------------------------------------------------------------
+    def handle_healthz(self) -> None:
+        broker = self.server.broker
+        snapshot = broker.metrics_snapshot()
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "workers": snapshot["workers"],
+                "queue_depth": snapshot["queue"]["depth"],
+                "uptime_s": snapshot["uptime_s"],
+            },
+        )
+
+    def handle_metrics(self) -> None:
+        self._send_json(
+            200,
+            self.server.broker.metrics_snapshot(
+                requests=self.server.request_counts()
+            ),
+        )
+
+    def handle_submit(self) -> None:
+        spec = self._read_json_body()
+        jobs = expand_spec(spec, settings=self.server.settings)
+        sweep = self.server.broker.submit(jobs, tenant=self._tenant())
+        self._send_json(201, {"sweep": sweep.snapshot()})
+
+    def handle_sweep(self, sweep_id: str) -> None:
+        sweep = self.server.broker.sweep(sweep_id)
+        if sweep is None:
+            self._send_json(404, {"error": f"no such sweep {sweep_id!r}"})
+            return
+        self._send_json(200, {"sweep": sweep.snapshot()})
+
+    def handle_cancel(self, sweep_id: str) -> None:
+        drained = self.server.broker.cancel(sweep_id)
+        if drained is None:
+            self._send_json(404, {"error": f"no such sweep {sweep_id!r}"})
+            return
+        sweep = self.server.broker.sweep(sweep_id)
+        self._send_json(
+            200, {"cancelled": drained, "sweep": sweep.snapshot()}
+        )
+
+    def handle_events(self, sweep_id: str) -> None:
+        """Stream the sweep's progress feed as NDJSON.
+
+        ``?since=N`` resumes after event index N-1; ``?follow=0``
+        returns only the current backlog (plain polling).  Following
+        ends when the sweep reaches a terminal state.
+        """
+        broker = self.server.broker
+        since = self._int_query("since", 0)
+        follow = self._int_query("follow", 1) != 0
+        events = broker.wait_events(sweep_id, since, timeout=0.0)
+        if events is None:
+            self._send_json(404, {"error": f"no such sweep {sweep_id!r}"})
+            return
+        self.server.count_request(self._route_label, 200)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        # Streamed body: no Content-Length, so the connection must close
+        # to delimit it (HTTP/1.1).
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        cursor = since
+        while True:
+            for event in events:
+                self.wfile.write(
+                    (json.dumps(event, sort_keys=True) + "\n").encode()
+                )
+                cursor += 1
+            self.wfile.flush()
+            if not follow:
+                return
+            sweep = broker.sweep(sweep_id)
+            if sweep is None or (
+                sweep.state != SWEEP_RUNNING and len(sweep.events) <= cursor
+            ):
+                return
+            events = broker.wait_events(sweep_id, cursor, timeout=0.5) or []
+
+    def handle_result(self, key: str) -> None:
+        summary = self.server.broker.result(key)
+        if summary is None:
+            self._send_json(
+                404, {"error": f"no cached result for job {key!r}"}
+            )
+            return
+        self._send_json(200, summary_to_dict(summary))
+
+    # -- plumbing --------------------------------------------------------------
+    def _tenant(self) -> str:
+        tenant = (self.headers.get(TENANT_HEADER) or "public").strip()
+        return tenant[:64] or "public"
+
+    def _int_query(self, name: str, default: int) -> int:
+        values = self._query.get(name)
+        if not values:
+            return default
+        try:
+            return int(values[0])
+        except ValueError:
+            return default
+
+    def _read_json_body(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            raise SweepSpecError("missing or invalid Content-Length")
+        if length <= 0:
+            raise SweepSpecError("request body required")
+        if length > self.server.config.max_body_bytes:
+            raise SweepSpecError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.config.max_body_bytes} byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise SweepSpecError(f"request body is not valid JSON: {exc}")
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.server.count_request(
+            getattr(self, "_route_label", "unmatched"), status
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Route http.server's stderr chatter through the structured log."""
+        log.debug("http", detail=format % args)
+
+
+def create_server(
+    config: Optional[ServiceConfig] = None,
+    broker: Optional[JobBroker] = None,
+    settings=None,
+) -> ReproServiceServer:
+    """Bind a service instance (broker not yet started, port resolved).
+
+    With ``port=0`` the OS picks a free port — read the bound one from
+    ``server.server_address`` (the e2e tests and the CI smoke job do
+    exactly that).
+    """
+    config = config or ServiceConfig.from_env()
+    broker = broker or JobBroker(config)
+    return ReproServiceServer(
+        (config.host, config.port), broker, config, settings=settings
+    )

@@ -1,0 +1,742 @@
+"""The job broker: one shared execution engine behind all HTTP clients.
+
+The broker is the service's only owner of compute: a single
+:class:`~repro.orchestrate.WorkerPool` (or, with ``workers=0`` / when
+no subprocess can be spawned, a single shared
+:class:`~repro.orchestrate.Orchestrator` executing inline on the
+broker thread) and a single process-wide
+:class:`~repro.orchestrate.ResultCache`.  Every sweep any client
+submits is decomposed into :class:`~repro.orchestrate.SimJob` entries
+keyed by :func:`~repro.orchestrate.job_key`, and the key is the whole
+dedup contract, applied in three tiers:
+
+1. **memoization** — a key already in the result cache is served
+   instantly (this is also cross-restart and CLI-shared: the service
+   reads the same ``.repro-cache`` the CLI writes);
+2. **in-flight coalescing** — a key currently queued or running gains
+   an extra subscriber instead of a second execution, so two clients
+   submitting the same sweep concurrently cost one execution;
+3. **in-sweep dedup** — duplicate jobs within one submission collapse
+   before admission.
+
+Admission control is all-or-nothing per sweep: a bounded global queue
+(429 backpressure) plus per-tenant budgets on queued jobs and queued
+simulated instructions.  Coalesced and cached jobs are free — they
+occupy no queue slot and charge no quota.
+
+Threading model: HTTP handler threads only touch broker state under
+``self._lock`` (submit / snapshot / cancel / event waits); the broker
+thread alone owns the pool and the orchestrator, so worker pipes never
+see concurrent access.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import (
+    QueueFullError,
+    QuotaExceededError,
+    SweepSpecError,
+)
+from ..metrics.throughput import aggregate_host
+from ..orchestrate import (
+    Orchestrator,
+    ResultCache,
+    RunSummary,
+    SimJob,
+    SweepManifest,
+    WorkerPool,
+    compact_host,
+    execute_job,
+    job_key,
+)
+from ..orchestrate.scheduler import MAX_RESPAWNS
+from ..perf import (
+    PHASE_EXECUTE_JOB,
+    PHASE_ORCHESTRATE,
+    PHASE_POOL_WAIT,
+    PhaseTimer,
+)
+from ..telemetry import get_logger
+from .config import ServiceConfig
+
+log = get_logger("repro.service")
+
+#: per-job states a sweep reports.  ``cached`` and ``coalesced`` are
+#: admission outcomes (no execution charged to this sweep); the rest
+#: mirror the orchestrator's lifecycle.
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+JOB_CACHED = "cached"
+
+#: sweep-level states derived from the per-job ones.
+SWEEP_RUNNING = "running"
+SWEEP_DONE = "done"
+SWEEP_FAILED = "failed"
+SWEEP_CANCELLED = "cancelled"
+
+_TERMINAL = frozenset({JOB_DONE, JOB_FAILED, JOB_CANCELLED, JOB_CACHED})
+
+#: bump when the /v1/metrics payload shape changes.
+METRICS_SCHEMA = 1
+
+
+class _Entry:
+    """One unique admitted job plus everyone waiting on it."""
+
+    __slots__ = (
+        "key", "job", "tenant", "attempts", "ready_at", "state", "sweeps",
+    )
+
+    def __init__(self, key: str, job: SimJob, tenant: str) -> None:
+        self.key = key
+        self.job = job
+        self.tenant = tenant  # the tenant whose quota holds the slot
+        self.attempts = 0
+        self.ready_at = 0.0  # perf_counter gate for retry backoff
+        self.state = JOB_QUEUED
+        self.sweeps: List["Sweep"] = []
+
+    @property
+    def instructions(self) -> int:
+        """Simulated instructions this job will cost (quota budget unit)."""
+        return self.job.quota * len(self.job.apps)
+
+
+class Sweep:
+    """One client submission: job statuses plus an NDJSON event feed."""
+
+    def __init__(self, sweep_id: str, tenant: str, keys: List[str]) -> None:
+        self.id = sweep_id
+        self.tenant = tenant
+        self.keys = keys  # unique, submission order
+        self.labels: Dict[str, str] = {}
+        self.statuses: Dict[str, str] = {}
+        self.errors: Dict[str, str] = {}
+        self.events: List[Dict[str, Any]] = []
+        self.created = time.perf_counter()
+        self.cancel_requested = False
+
+    @property
+    def state(self) -> str:
+        if any(s not in _TERMINAL for s in self.statuses.values()):
+            return SWEEP_RUNNING
+        if any(s == JOB_FAILED for s in self.statuses.values()):
+            return SWEEP_FAILED
+        if any(s == JOB_CANCELLED for s in self.statuses.values()):
+            return SWEEP_CANCELLED
+        return SWEEP_DONE
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for status in self.statuses.values():
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The GET /v1/sweeps/{id} body."""
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "total": len(self.keys),
+            "counts": self.counts(),
+            "age_s": time.perf_counter() - self.created,
+            "jobs": [
+                {
+                    "key": key,
+                    "label": self.labels.get(key, ""),
+                    "status": self.statuses[key],
+                    **(
+                        {"error": self.errors[key]}
+                        if key in self.errors
+                        else {}
+                    ),
+                }
+                for key in self.keys
+            ],
+        }
+
+
+class JobBroker:
+    """Shared orchestrator/pool/cache behind the HTTP API."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        cache: Optional[ResultCache] = None,
+        execute: Callable[[SimJob], RunSummary] = execute_job,
+        key_fn: Callable[[SimJob], str] = job_key,
+    ) -> None:
+        self.config = config or ServiceConfig.from_env()
+        self.cache = (
+            cache if cache is not None else ResultCache(self.config.cache_dir)
+        )
+        self.execute = execute
+        self.key_fn = key_fn
+        self.manifest: Optional[SweepManifest] = None
+        if self.cache.directory is not None:
+            self.manifest = SweepManifest(
+                self.cache.directory / "sweep-manifest.jsonl"
+            )
+        #: the serial execution engine (also the pool-death fallback):
+        #: one Orchestrator shared by every inline job, so retry,
+        #: backoff, manifest and cache semantics are exactly the CLI's.
+        self.orchestrator = Orchestrator(
+            jobs=1,
+            execute=self.execute,
+            key_fn=self.key_fn,
+            cache=self.cache,
+            manifest=self.manifest,
+            retries=self.config.retries,
+            backoff=self.config.backoff,
+        )
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: "deque[_Entry]" = deque()
+        self._inflight: Dict[str, _Entry] = {}  # queued + running
+        self._sweeps: Dict[str, Sweep] = {}
+        self._tenant_jobs: Dict[str, int] = {}
+        self._tenant_instr: Dict[str, int] = {}
+        #: monotonically increasing counters for /v1/metrics; one flat
+        #: dict so the snapshot is a single copy under the lock.
+        self.counters: Dict[str, int] = {
+            "sweeps_submitted": 0,
+            "sweeps_cancelled": 0,
+            "jobs_submitted": 0,
+            "jobs_deduped": 0,
+            "jobs_cached": 0,
+            "jobs_coalesced": 0,
+            "jobs_executed": 0,
+            "jobs_failed": 0,
+            "jobs_cancelled": 0,
+            "jobs_retried": 0,
+            "rejected_queue_full": 0,
+            "rejected_quota": 0,
+        }
+        self.host_digests: List[Dict[str, Any]] = []
+        #: broker-thread time attribution (pool_wait vs execute_job vs
+        #: orchestrate bookkeeping), surfaced on /v1/metrics.
+        self.phase_timer = PhaseTimer()
+        self._pool: Optional[WorkerPool] = None
+        self._queued_count = 0
+        self._running_count = 0
+        self._sweep_seq = 0
+        self._started_at = 0.0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "JobBroker":
+        """Spawn the shared pool (best effort) and the broker thread."""
+        self._started_at = time.perf_counter()
+        if self.config.workers > 0:
+            try:
+                self._pool = WorkerPool(
+                    self.config.workers,
+                    self.execute,
+                    timeout=self.config.job_timeout,
+                )
+            except Exception as exc:  # noqa: BLE001 — degrade, don't die
+                log.warning("pool_unavailable", error=str(exc))
+                self._pool = None
+        self.phase_timer.enter(PHASE_ORCHESTRATE)
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-service-broker", daemon=True
+        )
+        self._thread.start()
+        log.info(
+            "broker_started",
+            workers=self._pool.size if self._pool is not None else 0,
+            cache_dir=str(self.cache.directory),
+        )
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # -- client-facing API (handler threads) -----------------------------------
+    def submit(self, jobs: List[SimJob], tenant: str = "public") -> Sweep:
+        """Admit a sweep (all-or-nothing) and return its tracking state.
+
+        Raises :class:`SweepSpecError` for an oversized/empty sweep,
+        :class:`QueueFullError` / :class:`QuotaExceededError` when
+        admission control refuses the *new* (non-cached, non-coalesced)
+        portion of the sweep.
+        """
+        if not jobs:
+            raise SweepSpecError("sweep has no jobs")
+        if len(jobs) > self.config.max_sweep_jobs:
+            raise SweepSpecError(
+                f"sweep expands to {len(jobs)} jobs; the service accepts "
+                f"at most {self.config.max_sweep_jobs} per submission"
+            )
+        ordered: Dict[str, SimJob] = {}
+        for job in jobs:
+            ordered.setdefault(self.key_fn(job), job)
+        with self._cond:
+            cached: Dict[str, RunSummary] = {}
+            coalesced: List[str] = []
+            fresh: List[str] = []
+            for key, job in ordered.items():
+                if key in self._inflight:
+                    coalesced.append(key)
+                    continue
+                hit = self.cache.load(key)
+                if hit is not None:
+                    cached[key] = hit
+                else:
+                    fresh.append(key)
+            self._admit(tenant, [ordered[key] for key in fresh])
+            sweep = self._new_sweep(tenant, list(ordered))
+            for key, job in ordered.items():
+                sweep.labels[key] = job.label()
+            for key in cached:
+                sweep.statuses[key] = JOB_CACHED
+            for key in coalesced:
+                entry = self._inflight[key]
+                entry.sweeps.append(sweep)
+                sweep.statuses[key] = (
+                    JOB_RUNNING if entry.state == JOB_RUNNING else JOB_QUEUED
+                )
+            for key in fresh:
+                entry = _Entry(key, ordered[key], tenant)
+                entry.sweeps.append(sweep)
+                self._inflight[key] = entry
+                self._queue.append(entry)
+                self._queued_count += 1
+                sweep.statuses[key] = JOB_QUEUED
+            counters = self.counters
+            counters["sweeps_submitted"] += 1
+            counters["jobs_submitted"] += len(jobs)
+            counters["jobs_deduped"] += len(jobs) - len(ordered)
+            counters["jobs_cached"] += len(cached)
+            counters["jobs_coalesced"] += len(coalesced)
+            self._event(
+                sweep,
+                "sweep_submitted",
+                total=len(ordered),
+                cached=len(cached),
+                coalesced=len(coalesced),
+                queued=len(fresh),
+            )
+            for key in cached:
+                self._event(sweep, "job_cached", key=key)
+            self._cond.notify_all()
+        log.info(
+            "sweep_submitted",
+            sweep=sweep.id,
+            tenant=tenant,
+            total=len(ordered),
+            cached=len(cached),
+            coalesced=len(coalesced),
+            queued=len(fresh),
+        )
+        return sweep
+
+    def _admit(self, tenant: str, fresh_jobs: List[SimJob]) -> None:
+        """Capacity checks for the genuinely new jobs (lock held)."""
+        if not fresh_jobs:
+            return
+        if self._queued_count + len(fresh_jobs) > self.config.queue_limit:
+            self.counters["rejected_queue_full"] += 1
+            raise QueueFullError(
+                f"admission queue full ({self._queued_count}/"
+                f"{self.config.queue_limit} queued); retry later",
+                retry_after=max(self.config.backoff, 1.0),
+            )
+        jobs_after = self._tenant_jobs.get(tenant, 0) + len(fresh_jobs)
+        if jobs_after > self.config.tenant_jobs:
+            self.counters["rejected_quota"] += 1
+            raise QuotaExceededError(
+                f"tenant {tenant!r} would hold {jobs_after} queued jobs "
+                f"(limit {self.config.tenant_jobs})",
+                retry_after=max(self.config.backoff, 1.0),
+            )
+        instr = sum(job.quota * len(job.apps) for job in fresh_jobs)
+        instr_after = self._tenant_instr.get(tenant, 0) + instr
+        if instr_after > self.config.tenant_instructions:
+            self.counters["rejected_quota"] += 1
+            raise QuotaExceededError(
+                f"tenant {tenant!r} would hold {instr_after} queued "
+                f"simulated instructions "
+                f"(limit {self.config.tenant_instructions})",
+                retry_after=max(self.config.backoff, 1.0),
+            )
+        self._tenant_jobs[tenant] = jobs_after
+        self._tenant_instr[tenant] = instr_after
+
+    def _release_quota(self, entry: _Entry) -> None:
+        """Return a no-longer-queued entry's slot to its tenant (lock held)."""
+        tenant = entry.tenant
+        self._tenant_jobs[tenant] = max(
+            0, self._tenant_jobs.get(tenant, 0) - 1
+        )
+        self._tenant_instr[tenant] = max(
+            0, self._tenant_instr.get(tenant, 0) - entry.instructions
+        )
+
+    def _new_sweep(self, tenant: str, keys: List[str]) -> Sweep:
+        self._sweep_seq += 1
+        digest = hashlib.sha1("|".join(keys).encode()).hexdigest()[:8]
+        sweep = Sweep(f"swp-{self._sweep_seq:05d}-{digest}", tenant, keys)
+        self._sweeps[sweep.id] = sweep
+        return sweep
+
+    def sweep(self, sweep_id: str) -> Optional[Sweep]:
+        with self._lock:
+            return self._sweeps.get(sweep_id)
+
+    def result(self, key: str) -> Optional[RunSummary]:
+        """The shared memoization tier, straight from the cache."""
+        with self._lock:
+            return self.cache.load(key)
+
+    def cancel(self, sweep_id: str) -> Optional[int]:
+        """Drain the sweep's queued jobs; in-flight ones run on.
+
+        A queued job shared with another live sweep is *not* drained —
+        cancellation only removes work nobody else is waiting for.
+        Returns how many jobs were cancelled, or ``None`` for an
+        unknown sweep id.
+        """
+        with self._cond:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None:
+                return None
+            sweep.cancel_requested = True
+            cancelled = 0
+            for key in sweep.keys:
+                entry = self._inflight.get(key)
+                if entry is None or entry.state != JOB_QUEUED:
+                    continue
+                others = [
+                    s
+                    for s in entry.sweeps
+                    if s is not sweep and not s.cancel_requested
+                ]
+                if others:
+                    continue
+                entry.state = JOB_CANCELLED
+                self._queued_count -= 1
+                self._release_quota(entry)
+                del self._inflight[key]
+                cancelled += 1
+                self.counters["jobs_cancelled"] += 1
+                for subscriber in entry.sweeps:
+                    subscriber.statuses[key] = JOB_CANCELLED
+                    self._event(subscriber, "job_cancelled", key=key)
+            self.counters["sweeps_cancelled"] += 1
+            self._cond.notify_all()
+        log.info("sweep_cancelled", sweep=sweep_id, drained=cancelled)
+        return cancelled
+
+    def wait_events(
+        self, sweep_id: str, since: int, timeout: float = 10.0
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Events after index ``since``; blocks briefly when none yet.
+
+        Returns ``None`` for an unknown sweep.  An empty list means the
+        wait timed out with no news — the streaming handler loops while
+        the sweep is live, producing newline-delimited JSON.
+        """
+        deadline = time.perf_counter() + timeout
+        with self._cond:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None:
+                return None
+            while (
+                len(sweep.events) <= since
+                and sweep.state == SWEEP_RUNNING
+                and not self._stop.is_set()
+            ):
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            return list(sweep.events[since:])
+
+    def metrics_snapshot(
+        self, requests: Optional[Dict[str, int]] = None
+    ) -> Dict[str, Any]:
+        """The /v1/metrics body (validated by the telemetry schema)."""
+        with self._lock:
+            counters = dict(self.counters)
+            tenants = {
+                tenant: {
+                    "queued_jobs": jobs,
+                    "queued_instructions": self._tenant_instr.get(tenant, 0),
+                }
+                for tenant, jobs in self._tenant_jobs.items()
+            }
+            sweeps_active = sum(
+                1 for s in self._sweeps.values() if s.state == SWEEP_RUNNING
+            )
+            sweeps_total = len(self._sweeps)
+            queue = {
+                "depth": self._queued_count,
+                "running": self._running_count,
+                "limit": self.config.queue_limit,
+            }
+            digests = list(self.host_digests)
+        uptime = time.perf_counter() - self._started_at
+        workers = self._pool.size if self._pool is not None else 0
+        snapshot: Dict[str, Any] = {
+            "schema": METRICS_SCHEMA,
+            "uptime_s": uptime,
+            "workers": workers,
+            "queue": queue,
+            "jobs": counters,
+            "sweeps": {"total": sweeps_total, "active": sweeps_active},
+            "tenants": tenants,
+            "host": aggregate_host(
+                digests, workers=max(1, workers), wall_s=uptime or None
+            ),
+            "phases": self.phase_timer.report(),
+        }
+        if requests is not None:
+            snapshot["requests"] = requests
+        return snapshot
+
+    # -- the broker thread -----------------------------------------------------
+    def _loop(self) -> None:
+        timer = self.phase_timer
+        while not self._stop.is_set():
+            if self._pool is not None:
+                self._dispatch_pool()
+                if self._pool.busy_count == 0:
+                    # Nothing running and nothing dispatchable (empty
+                    # queue or all entries in retry backoff): sleep on
+                    # the condition instead of spinning on poll();
+                    # submit() notifies, so new work wakes us early.
+                    with self._cond:
+                        if not self._stop.is_set():
+                            self._cond.wait(0.05)
+                    continue
+                timer.enter(PHASE_POOL_WAIT)
+                try:
+                    events = self._pool.poll(0.05)
+                finally:
+                    timer.exit()
+                for kind, key, payload in events:
+                    self._finish_pool_job(kind, key, payload)
+                if self._pool.respawns > MAX_RESPAWNS:
+                    log.error(
+                        "pool_degraded", respawns=self._pool.respawns
+                    )
+                    self._pool.close()
+                    self._pool = None
+            else:
+                entry = self._next_inline()
+                if entry is None:
+                    with self._cond:
+                        if not self._stop.is_set():
+                            self._cond.wait(0.05)
+                else:
+                    self._execute_inline(entry)
+        # exit() pairs the enter(PHASE_ORCHESTRATE) from start(), so the
+        # phase report stays internally consistent after a stop().
+        if timer.depth:
+            timer.exit()
+
+    def _pop_ready(self) -> Optional[_Entry]:
+        """Next runnable queued entry, honouring retry backoff (lock held)."""
+        now = time.perf_counter()
+        for _ in range(len(self._queue)):
+            entry = self._queue.popleft()
+            if entry.state != JOB_QUEUED:
+                continue  # cancelled while queued
+            if entry.ready_at > now:
+                self._queue.append(entry)
+                continue
+            return entry
+        return None
+
+    def _dispatch_pool(self) -> None:
+        pool = self._pool
+        while pool.idle_count:
+            with self._cond:
+                entry = self._pop_ready()
+                if entry is None:
+                    return
+                entry.state = JOB_RUNNING
+                self._queued_count -= 1
+                self._running_count += 1
+                self._release_quota(entry)
+                for sweep in entry.sweeps:
+                    sweep.statuses[entry.key] = JOB_RUNNING
+                    self._event(
+                        sweep,
+                        "job_started",
+                        key=entry.key,
+                        attempt=entry.attempts + 1,
+                    )
+                self._cond.notify_all()
+            pool.submit(entry.key, entry.job)
+
+    def _finish_pool_job(self, kind: str, key: str, payload: Any) -> None:
+        with self._cond:
+            entry = self._inflight.get(key)
+        if entry is None:  # cancelled racing a crash event; nothing to do
+            return
+        entry.attempts += 1
+        if kind == "ok":
+            self._complete(entry, payload, store=True)
+        elif entry.attempts > self.config.retries:
+            self._fail(entry, str(payload))
+        else:
+            with self._cond:
+                self.counters["jobs_retried"] += 1
+                entry.state = JOB_QUEUED
+                entry.ready_at = time.perf_counter() + self.config.backoff * (
+                    2 ** (entry.attempts - 1)
+                )
+                self._running_count -= 1
+                self._queued_count += 1
+                # Re-admitting a retry never fails: its quota slot is
+                # simply re-charged (may briefly overshoot the budget,
+                # which beats dropping work the tenant already queued).
+                self._tenant_jobs[entry.tenant] = (
+                    self._tenant_jobs.get(entry.tenant, 0) + 1
+                )
+                self._tenant_instr[entry.tenant] = (
+                    self._tenant_instr.get(entry.tenant, 0)
+                    + entry.instructions
+                )
+                self._queue.append(entry)
+                for sweep in entry.sweeps:
+                    sweep.statuses[key] = JOB_QUEUED
+                    self._event(
+                        sweep,
+                        "job_retry",
+                        key=key,
+                        attempt=entry.attempts,
+                        error=str(payload),
+                    )
+                self._cond.notify_all()
+            log.warning(
+                "job_retry", key=key, attempt=entry.attempts,
+                error=str(payload),
+            )
+
+    def _next_inline(self) -> Optional[_Entry]:
+        with self._cond:
+            entry = self._pop_ready()
+            if entry is None:
+                return None
+            entry.state = JOB_RUNNING
+            self._queued_count -= 1
+            self._running_count += 1
+            self._release_quota(entry)
+            for sweep in entry.sweeps:
+                sweep.statuses[entry.key] = JOB_RUNNING
+                self._event(sweep, "job_started", key=entry.key, attempt=1)
+            self._cond.notify_all()
+            return entry
+
+    def _execute_inline(self, entry: _Entry) -> None:
+        """Serial fallback: run one job through the shared Orchestrator.
+
+        The orchestrator brings the CLI path's exact retry/backoff,
+        manifest and cache-store semantics (including atomic writes),
+        so inline service results are byte-identical to CLI ones.
+        """
+        timer = self.phase_timer
+        timer.enter(PHASE_EXECUTE_JOB)
+        try:
+            results = self.orchestrator.run(
+                [entry.job], raise_on_failure=False
+            )
+        finally:
+            timer.exit()
+        if entry.key in results:
+            entry.attempts = 1
+            self._complete(entry, results[entry.key], store=False)
+        else:
+            # The orchestrator exhausted its full retry budget inline.
+            entry.attempts = self.config.retries + 1
+            self._fail(
+                entry,
+                self.orchestrator.failures.get(entry.key, "job failed"),
+            )
+
+    def _complete(
+        self, entry: _Entry, summary: RunSummary, store: bool
+    ) -> None:
+        if store:
+            # Single-writer discipline as in the CLI orchestrator: only
+            # the broker thread stores, so entries are byte-identical
+            # to serial/CLI ones (and writes are atomic).
+            self.cache.store(entry.key, summary)
+            if self.manifest is not None:
+                self.manifest.record(
+                    entry.key,
+                    "done",
+                    attempts=entry.attempts,
+                    label=entry.job.label(),
+                    host=compact_host(summary.host),
+                )
+        digest = compact_host(summary.host)
+        with self._cond:
+            self.counters["jobs_executed"] += 1
+            if summary.host:
+                self.host_digests.append(dict(summary.host))
+            entry.state = JOB_DONE
+            self._running_count -= 1
+            del self._inflight[entry.key]
+            for sweep in entry.sweeps:
+                sweep.statuses[entry.key] = JOB_DONE
+                self._event(
+                    sweep,
+                    "job_done",
+                    key=entry.key,
+                    attempts=entry.attempts,
+                    host=digest,
+                )
+            self._cond.notify_all()
+
+    def _fail(self, entry: _Entry, error: str) -> None:
+        with self._cond:
+            self.counters["jobs_failed"] += 1
+            entry.state = JOB_FAILED
+            self._running_count -= 1
+            del self._inflight[entry.key]
+            for sweep in entry.sweeps:
+                sweep.statuses[entry.key] = JOB_FAILED
+                sweep.errors[entry.key] = error
+                self._event(
+                    sweep,
+                    "job_failed",
+                    key=entry.key,
+                    attempts=entry.attempts,
+                    error=error,
+                )
+            self._cond.notify_all()
+        log.error("job_failed", key=entry.key, error=error)
+
+    def _event(self, sweep: Sweep, event: str, **fields: Any) -> None:
+        """Append one progress event to a sweep's feed (lock held)."""
+        record: Dict[str, Any] = {
+            "seq": len(sweep.events),
+            "t": time.perf_counter() - sweep.created,
+            "event": event,
+            "sweep": sweep.id,
+        }
+        record.update({k: v for k, v in fields.items() if v is not None})
+        sweep.events.append(record)

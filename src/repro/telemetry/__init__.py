@@ -48,9 +48,11 @@ from .schema import (
     CHROME_TRACE_SCHEMA,
     EVENT_SCHEMA,
     RUN_MANIFEST_SCHEMA,
+    SERVICE_METRICS_SCHEMA,
     validate_chrome_trace,
     validate_events_jsonl,
     validate_run_manifest,
+    validate_service_metrics,
 )
 from .tracer import Tracer
 
@@ -79,6 +81,7 @@ __all__ = [
     "KEY_LLC_MISSES",
     "RUN_MANIFEST_SCHEMA",
     "RunTelemetry",
+    "SERVICE_METRICS_SCHEMA",
     "StructuredLogger",
     "TelemetryConfig",
     "TraceEvent",
@@ -89,5 +92,6 @@ __all__ = [
     "validate_chrome_trace",
     "validate_events_jsonl",
     "validate_run_manifest",
+    "validate_service_metrics",
     "write_events_jsonl",
 ]

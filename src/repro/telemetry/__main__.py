@@ -2,8 +2,10 @@
 
 ``validate <dir>`` checks every artefact found in a trace output
 directory against the checked-in schemas: ``events-*.jsonl`` files,
-``trace.json`` and ``run-manifest.json``.  Exits non-zero if any file
-fails, so CI can gate on exporter drift.
+``trace.json``, ``run-manifest.json`` and ``service-metrics.json``.
+``validate <file>`` checks a single saved ``GET /v1/metrics`` response
+body.  Exits non-zero if any file fails, so CI can gate on exporter
+drift.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from .schema import (
     validate_chrome_trace,
     validate_events_jsonl,
     validate_run_manifest,
+    validate_service_metrics,
 )
 
 log = get_logger("repro.telemetry")
@@ -38,6 +41,10 @@ def validate_dir(out_dir: Path) -> int:
     if manifest.exists():
         checked += 1
         failures += _report(manifest, validate_run_manifest(manifest))
+    metrics = out_dir / "service-metrics.json"
+    if metrics.exists():
+        checked += 1
+        failures += _report(metrics, validate_service_metrics(metrics))
     if checked == 0:
         log.error("no_artifacts", dir=str(out_dir))
         return 1
@@ -62,8 +69,15 @@ def main(argv=None) -> int:
     check = sub.add_parser(
         "validate", help="schema-check a trace output directory"
     )
-    check.add_argument("dir", type=Path, help="directory holding artefacts")
+    check.add_argument(
+        "dir",
+        type=Path,
+        help="directory holding artefacts, or a single /v1/metrics "
+        "JSON file to check against SERVICE_METRICS_SCHEMA",
+    )
     args = parser.parse_args(argv)
+    if args.dir.is_file():
+        return 1 if _report(args.dir, validate_service_metrics(args.dir)) else 0
     if not args.dir.is_dir():
         log.error("not_a_directory", dir=str(args.dir))
         return 1

@@ -100,6 +100,82 @@ RUN_MANIFEST_SCHEMA: Dict = {
 }
 
 
+#: the ``GET /v1/metrics`` body served by ``repro.service``.  Pinned
+#: here, next to the other exporter contracts, so the service cannot
+#: drift its observability payload without failing CI's schema gate.
+SERVICE_METRICS_SCHEMA: Dict = {
+    "type": "object",
+    "required": [
+        "schema",
+        "uptime_s",
+        "workers",
+        "queue",
+        "jobs",
+        "sweeps",
+        "tenants",
+        "host",
+        "phases",
+    ],
+    "properties": {
+        "schema": {"type": "integer", "minimum": 1},
+        "uptime_s": {"type": "number", "minimum": 0},
+        "workers": {"type": "integer", "minimum": 0},
+        "queue": {
+            "type": "object",
+            "required": ["depth", "running", "limit"],
+            "properties": {
+                "depth": {"type": "integer", "minimum": 0},
+                "running": {"type": "integer", "minimum": 0},
+                "limit": {"type": "integer", "minimum": 1},
+            },
+        },
+        "jobs": {
+            "type": "object",
+            "required": [
+                "sweeps_submitted",
+                "sweeps_cancelled",
+                "jobs_submitted",
+                "jobs_deduped",
+                "jobs_cached",
+                "jobs_coalesced",
+                "jobs_executed",
+                "jobs_failed",
+                "jobs_cancelled",
+                "jobs_retried",
+                "rejected_queue_full",
+                "rejected_quota",
+            ],
+            "properties": {
+                "sweeps_submitted": {"type": "integer", "minimum": 0},
+                "sweeps_cancelled": {"type": "integer", "minimum": 0},
+                "jobs_submitted": {"type": "integer", "minimum": 0},
+                "jobs_deduped": {"type": "integer", "minimum": 0},
+                "jobs_cached": {"type": "integer", "minimum": 0},
+                "jobs_coalesced": {"type": "integer", "minimum": 0},
+                "jobs_executed": {"type": "integer", "minimum": 0},
+                "jobs_failed": {"type": "integer", "minimum": 0},
+                "jobs_cancelled": {"type": "integer", "minimum": 0},
+                "jobs_retried": {"type": "integer", "minimum": 0},
+                "rejected_queue_full": {"type": "integer", "minimum": 0},
+                "rejected_quota": {"type": "integer", "minimum": 0},
+            },
+        },
+        "sweeps": {
+            "type": "object",
+            "required": ["total", "active"],
+            "properties": {
+                "total": {"type": "integer", "minimum": 0},
+                "active": {"type": "integer", "minimum": 0},
+            },
+        },
+        "tenants": {"type": "object"},
+        "host": {"type": "object"},
+        "phases": {"type": "object"},
+        "requests": {"type": "object"},
+    },
+}
+
+
 def check(value, schema: Dict, path: str = "$") -> List[str]:
     """Validate ``value`` against a schema; returns error strings."""
     errors: List[str] = []
@@ -164,3 +240,12 @@ def validate_run_manifest(path: Union[str, Path]) -> List[str]:
     except ValueError as exc:
         return [f"invalid JSON: {exc}"]
     return check(data, RUN_MANIFEST_SCHEMA)
+
+
+def validate_service_metrics(path: Union[str, Path]) -> List[str]:
+    """Validate a saved ``GET /v1/metrics`` response body."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except ValueError as exc:
+        return [f"invalid JSON: {exc}"]
+    return check(data, SERVICE_METRICS_SCHEMA)

@@ -1,0 +1,42 @@
+"""The static analyzer covers the service layer and finds it clean.
+
+Pins the PX (process-safety) coverage contract for ``repro.service``:
+the broker's counters, queues and locks are all instance state, and a
+regression that reintroduces module-level mutable globals or
+module-level locks must fail analyze — so this test asserts both that
+the package is indexed and that it carries zero findings.
+"""
+
+from pathlib import Path
+
+import repro.service
+from repro.devtools import project
+from repro.devtools.analyze import analyze_paths
+
+SERVICE_DIR = Path(repro.service.__file__).parent
+
+
+def test_service_package_is_indexed_and_clean():
+    index = project.load_project([SERVICE_DIR])
+    names = {module.name for module in index.modules}
+    assert {
+        "repro.service.app",
+        "repro.service.broker",
+        "repro.service.config",
+        "repro.service.schemas",
+    } <= names
+    report = analyze_paths([SERVICE_DIR], baseline_path=None)
+    assert report.modules >= len(names)
+    assert report.findings == []
+
+
+def test_px_pass_flags_service_style_global_counter(tmp_path):
+    """The guard the broker design is built around actually fires."""
+    bad = tmp_path / "bad_service.py"
+    bad.write_text(
+        "COUNTERS = {}\n"
+        "def bump(name):\n"
+        "    COUNTERS[name] = COUNTERS.get(name, 0) + 1\n"
+    )
+    report = analyze_paths([tmp_path], baseline_path=None, select=["PX2"])
+    assert any(f.rule == "PX2" for f in report.findings)

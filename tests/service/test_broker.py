@@ -1,0 +1,301 @@
+"""JobBroker semantics: dedup tiers, admission control, cancellation.
+
+These tests run the broker in inline mode (``workers=0``) with an
+instrumented execute function, so every scheduling decision is
+observable without subprocess latency.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import QueueFullError, QuotaExceededError, SweepSpecError
+from repro.orchestrate import ResultCache, RunSummary, SimJob
+from repro.service import JobBroker, ServiceConfig
+from repro.telemetry.schema import SERVICE_METRICS_SCHEMA, check
+
+
+def make_job(mix="MIX_00", tla="none", quota=1_000) -> SimJob:
+    return SimJob(
+        mix_name=mix,
+        apps=("bzi", "wrf"),
+        tla=tla,
+        scale=0.0625,
+        quota=quota,
+    )
+
+
+def fake_summary(job: SimJob) -> RunSummary:
+    return RunSummary(
+        mix=job.mix_name,
+        apps=list(job.apps),
+        mode=job.mode,
+        tla=job.tla,
+        ipcs=[1.0] * len(job.apps),
+        llc_misses=0,
+        llc_accesses=1,
+        inclusion_victims=0,
+        traffic={},
+        max_cycles=1.0,
+        instructions=[1] * len(job.apps),
+        mpki=[{} for _ in job.apps],
+    )
+
+
+def make_broker(tmp_path, execute=fake_summary, start=True, **overrides):
+    defaults = dict(workers=0, cache_dir=str(tmp_path / "cache"))
+    defaults.update(overrides)
+    broker = JobBroker(ServiceConfig(**defaults), execute=execute)
+    if start:
+        broker.start()
+    return broker
+
+
+def wait_terminal(broker, sweep, timeout=10.0):
+    deadline = time.perf_counter() + timeout
+    while sweep.state == "running":
+        if time.perf_counter() > deadline:
+            raise AssertionError(f"sweep stuck: {sweep.snapshot()}")
+        time.sleep(0.01)
+    return sweep
+
+
+class TestExecutionAndDedup:
+    def test_sweep_runs_to_done(self, tmp_path):
+        broker = make_broker(tmp_path)
+        try:
+            sweep = broker.submit([make_job(), make_job(tla="qbs")])
+            wait_terminal(broker, sweep)
+            assert sweep.state == "done"
+            assert sweep.counts() == {"done": 2}
+            assert broker.counters["jobs_executed"] == 2
+            events = [e["event"] for e in sweep.events]
+            assert events[0] == "sweep_submitted"
+            assert events.count("job_done") == 2
+        finally:
+            broker.stop()
+
+    def test_in_sweep_duplicates_collapse(self, tmp_path):
+        broker = make_broker(tmp_path)
+        try:
+            sweep = broker.submit([make_job(), make_job(), make_job()])
+            wait_terminal(broker, sweep)
+            assert len(sweep.keys) == 1
+            assert sweep.snapshot()["total"] == 1
+            assert broker.counters["jobs_deduped"] == 2
+            assert broker.counters["jobs_executed"] == 1
+        finally:
+            broker.stop()
+
+    def test_cache_hits_cost_nothing(self, tmp_path):
+        broker = make_broker(tmp_path)
+        try:
+            first = broker.submit([make_job()])
+            wait_terminal(broker, first)
+            second = broker.submit([make_job()])
+            assert second.state == "done"  # terminal at submission
+            assert second.counts() == {"cached": 1}
+            assert broker.counters["jobs_executed"] == 1
+            assert broker.counters["jobs_cached"] == 1
+        finally:
+            broker.stop()
+
+    def test_concurrent_identical_sweeps_execute_once(self, tmp_path):
+        """The headline coalescing guarantee, driven by two threads."""
+        release = threading.Event()
+        started = threading.Event()
+
+        def gated(job):
+            started.set()
+            assert release.wait(10)
+            return fake_summary(job)
+
+        broker = make_broker(tmp_path, execute=gated)
+        try:
+            jobs = [make_job(), make_job(tla="qbs")]
+            sweeps = []
+
+            def submit():
+                sweeps.append(broker.submit(list(jobs)))
+
+            threads = [threading.Thread(target=submit) for _ in range(2)]
+            threads[0].start()
+            assert started.wait(10)  # first job is mid-execution
+            threads[1].start()
+            for thread in threads:
+                thread.join(10)
+            release.set()
+            for sweep in sweeps:
+                wait_terminal(broker, sweep)
+                assert sweep.state == "done"
+            assert broker.counters["jobs_executed"] == len(jobs)
+            assert broker.counters["jobs_coalesced"] == len(jobs)
+        finally:
+            release.set()
+            broker.stop()
+
+    def test_shared_cache_dir_serves_cli_entries(self, tmp_path):
+        from repro.orchestrate import job_key
+
+        job = make_job()
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.store(job_key(job), fake_summary(job))
+
+        def explode(job):
+            raise AssertionError("cached job must not execute")
+
+        broker = make_broker(tmp_path, execute=explode)
+        try:
+            sweep = broker.submit([job])
+            assert sweep.counts() == {"cached": 1}
+        finally:
+            broker.stop()
+
+
+class TestAdmissionControl:
+    def test_empty_and_oversized_sweeps_rejected(self, tmp_path):
+        broker = make_broker(tmp_path, start=False, max_sweep_jobs=1)
+        with pytest.raises(SweepSpecError):
+            broker.submit([])
+        with pytest.raises(SweepSpecError):
+            broker.submit([make_job(), make_job(tla="qbs")])
+
+    def test_queue_full_rejects_whole_sweep(self, tmp_path):
+        broker = make_broker(tmp_path, start=False, queue_limit=1)
+        broker.submit([make_job()])
+        with pytest.raises(QueueFullError) as excinfo:
+            broker.submit([make_job(tla="qbs")])
+        assert excinfo.value.retry_after > 0
+        assert broker.counters["rejected_queue_full"] == 1
+        # the refused sweep admitted nothing (counters track admissions)
+        assert broker.counters["jobs_submitted"] == 1
+        assert len(broker._inflight) == 1
+
+    def test_tenant_job_quota(self, tmp_path):
+        broker = make_broker(tmp_path, start=False, tenant_jobs=2)
+        broker.submit([make_job(), make_job(tla="qbs")], tenant="alice")
+        with pytest.raises(QuotaExceededError):
+            broker.submit([make_job(tla="eci")], tenant="alice")
+        # a different tenant still has budget
+        broker.submit([make_job(tla="eci")], tenant="bob")
+        assert broker.counters["rejected_quota"] == 1
+
+    def test_tenant_instruction_quota(self, tmp_path):
+        broker = make_broker(
+            tmp_path, start=False, tenant_instructions=3_000
+        )
+        broker.submit([make_job(quota=1_000)])  # 2 cores -> 2000 queued
+        with pytest.raises(QuotaExceededError):
+            broker.submit([make_job(tla="qbs", quota=1_000)])
+
+    def test_quota_released_after_execution(self, tmp_path):
+        broker = make_broker(tmp_path, tenant_jobs=1)
+        try:
+            first = broker.submit([make_job()], tenant="alice")
+            wait_terminal(broker, first)
+            # the slot came back; an identical-size sweep admits fine
+            second = broker.submit([make_job(tla="qbs")], tenant="alice")
+            wait_terminal(broker, second)
+            assert second.state == "done"
+        finally:
+            broker.stop()
+
+
+class TestCancellation:
+    def test_cancel_drains_queued_jobs(self, tmp_path):
+        broker = make_broker(tmp_path, start=False)
+        sweep = broker.submit([make_job(), make_job(tla="qbs")], tenant="t")
+        assert broker.cancel(sweep.id) == 2
+        assert sweep.state == "cancelled"
+        assert set(sweep.counts()) == {"cancelled"}
+        assert broker.counters["jobs_cancelled"] == 2
+        # quota refunded
+        assert broker._tenant_jobs["t"] == 0
+        assert broker._tenant_instr["t"] == 0
+        assert not broker._inflight
+
+    def test_cancel_unknown_sweep(self, tmp_path):
+        broker = make_broker(tmp_path, start=False)
+        assert broker.cancel("swp-nope") is None
+
+    def test_cancel_spares_jobs_shared_with_live_sweeps(self, tmp_path):
+        broker = make_broker(tmp_path, start=False)
+        shared = make_job()
+        mine = broker.submit([shared, make_job(tla="qbs")])
+        theirs = broker.submit([shared])
+        assert broker.cancel(mine.id) == 1  # only the unshared job drains
+        assert mine.statuses[mine.keys[1]] == "cancelled"
+        assert theirs.state == "running"  # shared job still queued
+
+    def test_cancelled_jobs_never_execute(self, tmp_path):
+        executed = []
+
+        def recording(job):
+            executed.append(job.tla)
+            return fake_summary(job)
+
+        broker = make_broker(tmp_path, execute=recording, start=False)
+        sweep = broker.submit([make_job(), make_job(tla="qbs")])
+        broker.cancel(sweep.id)
+        broker.start()
+        try:
+            follow_up = broker.submit([make_job(tla="eci")])
+            wait_terminal(broker, follow_up)
+            assert executed == ["eci"]
+        finally:
+            broker.stop()
+
+
+class TestObservability:
+    def test_metrics_snapshot_validates_against_schema(self, tmp_path):
+        broker = make_broker(tmp_path)
+        try:
+            sweep = broker.submit([make_job()])
+            wait_terminal(broker, sweep)
+            snapshot = broker.metrics_snapshot(requests={"GET /v1/metrics 200": 1})
+            assert check(snapshot, SERVICE_METRICS_SCHEMA) == []
+            assert snapshot["jobs"]["jobs_executed"] == 1
+            assert snapshot["sweeps"] == {"total": 1, "active": 0}
+        finally:
+            broker.stop()
+
+    def test_wait_events_streams_progress(self, tmp_path):
+        broker = make_broker(tmp_path)
+        try:
+            sweep = broker.submit([make_job()])
+            seen = []
+            cursor = 0
+            deadline = time.perf_counter() + 10
+            while time.perf_counter() < deadline:
+                batch = broker.wait_events(sweep.id, cursor, timeout=0.2)
+                seen.extend(batch)
+                cursor += len(batch)
+                if sweep.state != "running" and len(sweep.events) <= cursor:
+                    break
+            names = [event["event"] for event in seen]
+            assert names[0] == "sweep_submitted"
+            assert "job_started" in names
+            assert names[-1] == "job_done"
+            assert [event["seq"] for event in seen] == list(range(len(seen)))
+        finally:
+            broker.stop()
+
+    def test_wait_events_unknown_sweep(self, tmp_path):
+        broker = make_broker(tmp_path, start=False)
+        assert broker.wait_events("swp-nope", 0, timeout=0.0) is None
+
+    def test_failed_job_reported_with_error(self, tmp_path):
+        def failing(job):
+            raise ValueError("synthetic failure")
+
+        broker = make_broker(tmp_path, execute=failing, retries=0)
+        try:
+            sweep = broker.submit([make_job()])
+            wait_terminal(broker, sweep)
+            assert sweep.state == "failed"
+            key = sweep.keys[0]
+            assert "synthetic failure" in sweep.errors[key]
+            assert broker.counters["jobs_failed"] == 1
+        finally:
+            broker.stop()

@@ -1,0 +1,134 @@
+"""Sweep-spec validation and the job wire form's key fidelity."""
+
+import pytest
+
+from repro.config import TLAConfig
+from repro.errors import SweepSpecError
+from repro.experiments import ExperimentSettings
+from repro.orchestrate import SimJob, job_key
+from repro.service import (
+    expand_spec,
+    job_from_dict,
+    job_to_dict,
+    summary_to_dict,
+)
+
+
+def make_job(**overrides) -> SimJob:
+    fields = dict(
+        mix_name="MIX_00",
+        apps=("bzi", "wrf"),
+        mode="inclusive",
+        tla="qbs",
+        scale=0.125,
+        quota=9_000,
+        warmup=1_000,
+    )
+    fields.update(overrides)
+    return SimJob(**fields)
+
+
+class TestJobWireForm:
+    def test_round_trip_preserves_job_key(self):
+        job = make_job()
+        assert job_key(job_from_dict(job_to_dict(job))) == job_key(job)
+
+    def test_round_trip_with_custom_tla_config(self):
+        job = make_job(
+            tla="qbs_limited",
+            tla_config=TLAConfig(policy="qbs", max_queries=1),
+        )
+        restored = job_from_dict(job_to_dict(job))
+        assert restored.tla_config == job.tla_config
+        assert job_key(restored) == job_key(job)
+
+    def test_wire_form_drops_host_observability(self):
+        job = make_job(trace=True, trace_out="traces", host_phases=True)
+        wire = job_to_dict(job)
+        assert "trace_out" not in wire
+        assert "host_phases" not in wire
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SweepSpecError, match="unknown benchmark app"):
+            job_from_dict({"mix_name": "X", "apps": ["nope"]})
+
+    def test_inconsistent_tla_config_rejected(self):
+        with pytest.raises(SweepSpecError):
+            job_from_dict(
+                {
+                    "mix_name": "MIX_00",
+                    "apps": ["bzi", "wrf"],
+                    "tla_config": {"policy": "qbs", "levels": ["l9"]},
+                }
+            )
+
+    def test_unknown_tla_config_field_rejected(self):
+        with pytest.raises(SweepSpecError):
+            job_from_dict(
+                {
+                    "mix_name": "MIX_00",
+                    "apps": ["bzi", "wrf"],
+                    "tla_config": {"nonsense": 1},
+                }
+            )
+
+
+class TestExpandSpec:
+    def test_jobs_form_expands(self):
+        jobs = expand_spec(
+            {"jobs": [job_to_dict(make_job()), job_to_dict(make_job(tla="none"))]}
+        )
+        assert [job.tla for job in jobs] == ["qbs", "none"]
+
+    def test_grid_form_cross_product(self):
+        settings = ExperimentSettings(scale=0.0625, quota=4_000)
+        jobs = expand_spec(
+            {
+                "grid": {
+                    "mixes": ["MIX_00", "MIX_01"],
+                    "modes": ["inclusive", "non_inclusive"],
+                    "tlas": ["none", "qbs"],
+                }
+            },
+            settings=settings,
+        )
+        assert len(jobs) == 8
+        assert {job.scale for job in jobs} == {0.0625}
+
+    def test_grid_scale_override(self):
+        jobs = expand_spec(
+            {"grid": {"mixes": ["MIX_00"], "scale": 0.03125}}
+        )
+        assert jobs[0].scale == 0.03125
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "not an object",
+            {},
+            {"jobs": [], "grid": {"mixes": ["MIX_00"]}},
+            {"jobs": []},
+            {"jobs": [{"apps": ["bzi"]}]},  # missing mix_name
+            {"grid": {"mixes": ["NOT_A_MIX"]}},
+            {"grid": {"mixes": ["MIX_00"], "tlas": ["not_a_preset"]}},
+            {"grid": {"mixes": ["MIX_00"], "modes": ["sideways"]}},
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(SweepSpecError):
+            expand_spec(spec)
+
+
+class TestSummaryWireForm:
+    def test_matches_cache_entry_shape(self, tmp_path):
+        import json
+
+        from repro.orchestrate import ResultCache, execute_job
+
+        job = make_job(scale=0.0625, quota=4_000, warmup=500)
+        summary = execute_job(job)
+        cache = ResultCache(str(tmp_path))
+        key = job_key(job)
+        cache.store(key, summary)
+        on_disk = json.loads(cache.path_for(key).read_text())
+        assert summary_to_dict(summary) == on_disk
