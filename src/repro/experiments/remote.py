@@ -36,6 +36,7 @@ from ..errors import (
     ServiceError,
     SweepSpecError,
 )
+from ..obs import new_trace_id
 from ..orchestrate import ResultCache, RunSummary, SimJob, job_key
 from ..service.broker import SWEEP_RUNNING
 from ..service.schemas import job_to_dict
@@ -56,10 +57,15 @@ class ServiceClient:
         base_url: str,
         tenant: Optional[str] = None,
         timeout: float = 30.0,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.tenant = tenant
         self.timeout = timeout
+        #: client-minted trace id sent as ``X-Repro-Trace`` on every
+        #: request, so the server's access log, spans, and manifest
+        #: entries all join back to this client session.
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
 
     def _request(
         self, method: str, path: str, body: Optional[Dict] = None
@@ -67,6 +73,8 @@ class ServiceClient:
         headers = {"Content-Type": "application/json"}
         if self.tenant:
             headers["X-Repro-Tenant"] = self.tenant
+        if self.trace_id:
+            headers["X-Repro-Trace"] = self.trace_id
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=json.dumps(body).encode() if body is not None else None,
@@ -230,6 +238,7 @@ class RemoteRunner(Runner):
             sweep=sweep["id"],
             total=sweep["total"],
             url=self.client.base_url,
+            trace_id=self.client.trace_id,
         )
         if self.reporter is not None:
             self.reporter.start(

@@ -1,0 +1,108 @@
+"""``python -m repro.obs`` — ops tooling over a running service.
+
+Subcommands:
+
+``top``         live terminal dashboard polling ``/v1/metrics``
+``report``      one markdown ops report to stdout (for issues / chat)
+``check-prom``  validate a Prometheus text exposition (file or stdin);
+                exit 1 listing every problem — CI scrapes
+                ``/v1/metrics?format=prometheus`` and pipes it here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import ServiceError
+from .prom import check_exposition
+from .top import OpsTop, derive_view, fetch_metrics, render_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability tooling for repro.service.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    top = sub.add_parser("top", help="live ops dashboard")
+    top.add_argument("--url", default="http://127.0.0.1:8321")
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="poll period, seconds"
+    )
+    top.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        help="render this many frames then exit (tests, recordings)",
+    )
+
+    report = sub.add_parser("report", help="markdown ops report")
+    report.add_argument("--url", default="http://127.0.0.1:8321")
+
+    check = sub.add_parser(
+        "check-prom", help="validate Prometheus text exposition"
+    )
+    check.add_argument(
+        "path",
+        nargs="?",
+        help="exposition file; omit (or '-') to read stdin",
+    )
+    return parser
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    frames = 1 if args.once else args.frames
+    top = OpsTop(args.url, interval=args.interval)
+    try:
+        return top.run(sys.stdout, iterations=frames)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    view = derive_view(fetch_metrics(args.url))
+    print(render_report(view, args.url))
+    return 0
+
+
+def _cmd_check_prom(args: argparse.Namespace) -> int:
+    if args.path and args.path != "-":
+        with open(args.path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    problems = check_exposition(text)
+    for problem in problems:
+        print(f"check-prom: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    samples = sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    print(f"check-prom: OK ({samples} samples)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "top": _cmd_top,
+        "report": _cmd_report,
+        "check-prom": _cmd_check_prom,
+    }[args.command]
+    try:
+        return handler(args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

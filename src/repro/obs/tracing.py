@@ -1,0 +1,288 @@
+"""Request-scoped tracing: trace/span identifiers and the span book.
+
+A *trace* is the full life of one request — an HTTP sweep submission
+or a CLI run — and a *span* is one named stage inside it (ingress,
+admission, queue wait, execution, a simulated phase).  Identifiers are
+random hex from :func:`uuid.uuid4` (not :mod:`random`, so simulation
+RNG streams are untouched and the determinism analyzer stays quiet);
+the trace id travels in the ``X-Repro-Trace`` header, through broker
+queue entries, and into manifest records, which is what lets one id
+join the access log, the span export, and the run manifest.
+
+:class:`SpanBook` is the recorder.  It is deliberately dumb: spans are
+appended to a bounded in-memory list when they *end* (never while
+open), snapshots copy under a lock, and exports are plain JSONL plus a
+Chrome-trace conversion.  Like the phase timer and the metrics
+registry it is disabled-is-free — a disabled book's ``begin`` returns
+a no-op span and records nothing, so hook sites stay unguarded.
+
+Timestamps are :func:`time.perf_counter` offsets from the book's
+origin, never wall clock (repo rule CS3): span files from one process
+are internally consistent and diffable, at the cost of not being
+comparable across processes — the worker pipe therefore ships phase
+*durations* (from ``RunSummary.host``), and the parent process lays
+them out inside its own clock domain.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace identifier."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span identifier."""
+    return uuid.uuid4().hex[:16]
+
+
+def _is_hex(value: str) -> bool:
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def parse_trace_header(value: Optional[str]) -> Optional[str]:
+    """Validate an ``X-Repro-Trace`` header; None when absent/invalid.
+
+    Malformed ids are dropped rather than erroring — a bad tracing
+    header must never fail a request that would otherwise succeed.
+    """
+    if not value:
+        return None
+    value = value.strip().lower()
+    if len(value) == 32 and _is_hex(value):
+        return value
+    return None
+
+
+@dataclass
+class Span:
+    """One named stage of a trace; mutable until :meth:`SpanBook.end`.
+
+    ``start``/``end`` are seconds relative to the owning book's origin.
+    ``attrs`` carries join keys (``job_key``, ``tenant``, ``sweep_id``)
+    and must stay JSON-scalar-valued.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    start: float = 0.0
+    end: Optional[float] = None
+    kind: str = "internal"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "start": self.start,
+            "end": self.end if self.end is not None else self.start,
+            "kind": self.kind,
+        }
+        if self.parent_id is not None:
+            data["parent_id"] = self.parent_id
+        if self.attrs:
+            data["attrs"] = dict(self.attrs)
+        return data
+
+
+class _NoopSpan(Span):
+    """What a disabled book hands out: accepts the same calls, keeps
+    nothing.  A single shared instance per book is enough because the
+    noop never stores per-call state."""
+
+    def __init__(self) -> None:
+        super().__init__(name="", trace_id="", span_id="")
+
+
+class SpanBook:
+    """Bounded, thread-safe recorder for finished spans.
+
+    ``begin`` opens a span stamped with the current clock; ``end``
+    stamps the close time and appends it to the book.  ``add`` records
+    a pre-timed span (used to replay worker-side phase durations into
+    the parent's clock domain).  When the book is full the newest spans
+    are dropped and counted — dropping history would orphan parents.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_spans: int = 20_000,
+        clock=time.perf_counter,
+    ) -> None:
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self._clock = clock
+        self._origin = clock() if enabled else 0.0
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self.dropped = 0
+        self._noop = _NoopSpan()
+
+    def now(self) -> float:
+        """Seconds since the book's origin (0.0 when disabled)."""
+        if not self.enabled:
+            return 0.0
+        return self._clock() - self._origin
+
+    def begin(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str] = None,
+        kind: str = "internal",
+        **attrs: Any,
+    ) -> Span:
+        if not self.enabled:
+            return self._noop
+        return Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=new_span_id(),
+            parent_id=parent_id,
+            start=self.now(),
+            kind=kind,
+            attrs={k: v for k, v in attrs.items() if v is not None},
+        )
+
+    def end(self, span: Span, **attrs: Any) -> Span:
+        if not self.enabled or span is self._noop:
+            return span
+        span.end = self.now()
+        for key, value in attrs.items():
+            if value is not None:
+                span.attrs[key] = value
+        self._record(span)
+        return span
+
+    def add(
+        self,
+        name: str,
+        trace_id: str,
+        start: float,
+        end: float,
+        parent_id: Optional[str] = None,
+        kind: str = "internal",
+        **attrs: Any,
+    ) -> Optional[Span]:
+        """Record a span whose timing is already known."""
+        if not self.enabled:
+            return None
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=new_span_id(),
+            parent_id=parent_id,
+            start=start,
+            end=end,
+            kind=kind,
+            attrs={k: v for k, v in attrs.items() if v is not None},
+        )
+        self._record(span)
+        return span
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def snapshot(self, trace_id: Optional[str] = None) -> List[Span]:
+        """Finished spans, oldest first; optionally one trace only."""
+        with self._lock:
+            spans = list(self._spans)
+        if trace_id is not None:
+            spans = [span for span in spans if span.trace_id == trace_id]
+        return sorted(spans, key=lambda span: (span.start, span.span_id))
+
+    def pop_trace(self, trace_id: str) -> List[Span]:
+        """Remove and return one trace's spans (sweep-completion export
+        frees the slots so long-lived brokers never hit the cap)."""
+        with self._lock:
+            keep: List[Span] = []
+            taken: List[Span] = []
+            for span in self._spans:
+                (taken if span.trace_id == trace_id else keep).append(span)
+            self._spans = keep
+        return sorted(taken, key=lambda span: (span.start, span.span_id))
+
+    def write_jsonl(self, stream: IO[str], spans: Optional[List[Span]] = None) -> int:
+        """One span per line, sorted keys — the span artifact format."""
+        spans = self.snapshot() if spans is None else spans
+        for span in spans:
+            stream.write(json.dumps(span.to_json_dict(), sort_keys=True))
+            stream.write("\n")
+        return len(spans)
+
+
+def spans_to_chrome_trace(spans: List[Span]) -> Dict[str, Any]:
+    """Chrome ``trace.json`` view of a span list (load in Perfetto).
+
+    Traces map to processes, span trees to complete events on one
+    thread lane; microsecond timestamps come straight from the span
+    clock offsets.
+    """
+    events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+    for span in spans:
+        pid = pids.get(span.trace_id)
+        if pid is None:
+            pid = pids[span.trace_id] = len(pids)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"trace {span.trace_id[:12]}"},
+                }
+            )
+        args = {"span_id": span.span_id}
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "pid": pid,
+                "tid": 0,
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(max(span.duration, 0.0) * 1e6, 3),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def span_tree(spans: List[Span]) -> Dict[Optional[str], List[Span]]:
+    """Index spans by parent_id — the shape nesting assertions want."""
+    children: Dict[Optional[str], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    return children

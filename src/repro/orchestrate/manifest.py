@@ -37,6 +37,9 @@ class ManifestRecord:
     #: simulated instructions/s, accesses/s); None for cached/failed
     #: jobs or journals written before host metrics existed.
     host: Optional[Dict] = None
+    #: request trace this outcome belongs to (repro.obs); None for
+    #: journals written before tracing existed or untraced runs.
+    trace_id: Optional[str] = None
 
 
 class SweepManifest:
@@ -53,6 +56,7 @@ class SweepManifest:
         error: Optional[str] = None,
         label: Optional[str] = None,
         host: Optional[Dict] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         """Append one outcome line; flushed so a later crash keeps it."""
         entry = {"key": key, "status": status, "attempts": attempts}
@@ -62,6 +66,8 @@ class SweepManifest:
             entry["label"] = label
         if host is not None:
             entry["host"] = host
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
         self.path.parent.mkdir(parents=True, exist_ok=True)
         # A sweep killed mid-append leaves a line without its newline;
         # terminate it first so the partial line poisons nothing else.
@@ -98,6 +104,7 @@ class SweepManifest:
                 error=entry.get("error"),
                 label=entry.get("label"),
                 host=entry.get("host"),
+                trace_id=entry.get("trace_id"),
             )
         return records
 

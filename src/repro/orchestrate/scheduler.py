@@ -92,6 +92,12 @@ class Orchestrator:
         #: ``"done"``, the error string for ``"failed"`` — so a service
         #: layer can stream per-job digests without wrapping ``run``.
         self.on_job_done = on_job_done
+        #: key -> request trace id (repro.obs).  Callers that mint a
+        #: trace per request (the service broker, RunTelemetry-backed
+        #: sweeps) register ids here so retry/failure diagnostics and
+        #: manifest journal lines carry the join key; empty means
+        #: untraced and costs nothing.
+        self.trace_ids: Dict[str, str] = {}
         #: key -> final error message of permanently failed jobs (last run).
         self.failures: Dict[str, str] = {}
         #: key -> reason of jobs cancelled while still queued (last run).
@@ -205,10 +211,13 @@ class Orchestrator:
         if key not in self._cancel_requested:
             return False
         self.cancelled[key] = "cancelled while queued"
-        log.info("job_cancelled", key=key, label=self._label(job))
+        trace_id = self._trace_id(key)
+        log.info(
+            "job_cancelled", key=key, label=self._label(job), trace_id=trace_id
+        )
         if self.manifest is not None:
             self.manifest.record(
-                key, STATUS_CANCELLED, label=self._label(job)
+                key, STATUS_CANCELLED, label=self._label(job), trace_id=trace_id
             )
         if self.on_job_done is not None:
             self.on_job_done(key, STATUS_CANCELLED, "cancelled while queued", 0)
@@ -253,6 +262,7 @@ class Orchestrator:
                         label=self._label(job),
                         attempt=attempts,
                         error=error,
+                        trace_id=self._trace_id(key),
                     )
                     if self.backoff:
                         time.sleep(self.backoff * (2 ** (attempts - 1)))
@@ -319,6 +329,7 @@ class Orchestrator:
                             label=self._label(job),
                             attempt=attempts[key],
                             error=str(payload),
+                            trace_id=self._trace_id(key),
                         )
                         ready_at[key] = time.perf_counter() + self.backoff * (
                             2 ** (attempts[key] - 1)
@@ -337,6 +348,16 @@ class Orchestrator:
     @staticmethod
     def _label(job: Any) -> str:
         return job.label() if hasattr(job, "label") else str(job)
+
+    def _trace_id(self, key: str) -> Optional[str]:
+        """The trace a job belongs to: per-key registration wins, a
+        telemetry-collected sweep falls back to its run trace."""
+        found = self.trace_ids.get(key)
+        if found is not None:
+            return found
+        if self.telemetry is not None:
+            return getattr(self.telemetry, "trace_id", None)
+        return None
 
     def _now(self) -> float:
         """Sweep-relative wall time (telemetry origin when available)."""
@@ -369,6 +390,7 @@ class Orchestrator:
                 attempts=attempts,
                 label=self._label(job),
                 host=compact_host(host),
+                trace_id=self._trace_id(key),
             )
         if self.telemetry is not None:
             end = self.telemetry.now()
@@ -392,12 +414,14 @@ class Orchestrator:
 
     def _fail(self, key: str, job: Any, error: str, attempts: int) -> None:
         self.failures[key] = error
+        trace_id = self._trace_id(key)
         log.error(
             "job_failed",
             key=key,
             label=self._label(job),
             attempts=attempts,
             error=error,
+            trace_id=trace_id,
         )
         if self.manifest is not None:
             self.manifest.record(
@@ -406,6 +430,7 @@ class Orchestrator:
                 attempts=attempts,
                 error=error,
                 label=self._label(job),
+                trace_id=trace_id,
             )
         if self.telemetry is not None:
             end = self.telemetry.now()

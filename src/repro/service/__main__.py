@@ -64,6 +64,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--job-timeout", type=float, help="per-job timeout in seconds"
     )
     parser.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable request tracing (spans); metrics stay on",
+    )
+    parser.add_argument(
+        "--max-spans",
+        type=int,
+        help="bound on spans held in memory (default 20000)",
+    )
+    parser.add_argument(
         "--port-file",
         help="write the bound port to this file once listening "
         "(for harnesses using --port 0)",
@@ -86,9 +96,12 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
             "tenant_instructions",
             "cache_dir",
             "job_timeout",
+            "max_spans",
         )
         if getattr(args, name) is not None
     }
+    if args.no_tracing:
+        overrides["tracing"] = False
     return replace(config, **overrides) if overrides else config
 
 

@@ -11,10 +11,15 @@ and :mod:`repro.errors` exceptions to status codes:
 ``GET    /v1/sweeps/{id}``                poll status JSON
 ``GET    /v1/sweeps/{id}/events``         NDJSON progress feed
 ``DELETE /v1/sweeps/{id}``                drain queued jobs
+``GET    /v1/sweeps/{id}/trace``          recorded spans for the sweep
 ``GET    /v1/jobs/{key}/result``          fetch a cached RunSummary
 ``GET    /v1/healthz``                    liveness
-``GET    /v1/metrics``                    counters + host digests
+``GET    /v1/metrics``                    counters + registry snapshot
 ========================================  =============================
+
+``GET /v1/metrics?format=prometheus`` serves the same registry in
+Prometheus text exposition 0.0.4 for scrapers; the JSON view stays the
+canonical schema-validated document.
 
 Error mapping: :class:`~repro.errors.SweepSpecError` → 400,
 unknown ids → 404, :class:`~repro.errors.AdmissionError` → 429 with a
@@ -32,6 +37,7 @@ from __future__ import annotations
 
 import json
 import re
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
@@ -39,12 +45,16 @@ from urllib.parse import parse_qs, urlsplit
 import threading
 
 from ..errors import AdmissionError, SweepSpecError
+from ..obs import new_trace_id, parse_trace_header, render_registry
 from ..telemetry import get_logger
 from .broker import SWEEP_RUNNING, JobBroker
 from .config import ServiceConfig
 from .schemas import expand_spec, summary_to_dict
 
 log = get_logger("repro.service.http")
+#: one sorted-key JSON line per served request: method, path, status,
+#: tenant, trace_id, latency — the structured access log.
+access_log = get_logger("repro.service.access")
 
 #: (HTTP method, path regex, handler attribute, counter label).
 ROUTES: Tuple[Tuple[str, str, str, str], ...] = (
@@ -71,6 +81,12 @@ ROUTES: Tuple[Tuple[str, str, str, str], ...] = (
     ),
     (
         "GET",
+        r"^/v1/sweeps/(?P<sweep_id>[A-Za-z0-9_.-]+)/trace$",
+        "handle_trace",
+        "GET /v1/sweeps/{id}/trace",
+    ),
+    (
+        "GET",
         r"^/v1/jobs/(?P<key>[0-9a-f]{40})/result$",
         "handle_result",
         "GET /v1/jobs/{key}/result",
@@ -84,6 +100,11 @@ _COMPILED = tuple(
 
 #: tenant header; absent or empty means the shared "public" tenant.
 TENANT_HEADER = "X-Repro-Tenant"
+
+#: request trace header (repro.obs): a client-supplied 32-hex trace id
+#: is honoured, anything else gets a freshly minted one; the response
+#: echoes the id back so clients can join their logs to the service's.
+TRACE_HEADER = "X-Repro-Trace"
 
 
 class ReproServiceServer(ThreadingHTTPServer):
@@ -127,6 +148,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         split = urlsplit(self.path)
         self._query = parse_qs(split.query)
+        self._started = time.perf_counter()
+        self._status = 0
+        # the request's trace: honour a well-formed client id, mint
+        # otherwise; echoed back on every response via X-Repro-Trace.
+        self._trace_id = (
+            parse_trace_header(self.headers.get(TRACE_HEADER))
+            or new_trace_id()
+        )
+        self._ingress_span = None
+        try:
+            self._route(method, split)
+        finally:
+            self._finish_request(method, split.path)
+
+    def _route(self, method: str, split) -> None:
         allowed: List[str] = []
         for route_method, pattern, handler, label in _COMPILED:
             match = pattern.match(split.path)
@@ -136,6 +172,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 allowed.append(route_method)
                 continue
             self._route_label = label
+            spans = self.server.broker.spans
+            if spans.enabled and method != "GET":
+                # mutating routes open the trace's root span; polling
+                # GETs stay span-free so the book holds request
+                # lifecycles, not monitoring noise.
+                self._ingress_span = spans.begin(
+                    "ingress",
+                    self._trace_id,
+                    kind="server",
+                    route=label,
+                    tenant=self._tenant(),
+                )
             try:
                 getattr(self, handler)(**match.groupdict())
             except SweepSpecError as exc:
@@ -168,6 +216,28 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(404, {"error": f"no such resource {split.path}"})
 
+    def _finish_request(self, method: str, path: str) -> None:
+        """Access log + per-request registry accounting, every path."""
+        broker = self.server.broker
+        elapsed = time.perf_counter() - self._started
+        if self._ingress_span is not None:
+            broker.spans.end(self._ingress_span, status=self._status)
+        broker.observe_http(
+            getattr(self, "_route_label", "unmatched"),
+            self._status,
+            self._tenant(),
+            elapsed,
+        )
+        access_log.info(
+            "request",
+            method=method,
+            path=path,
+            status=self._status,
+            tenant=self._tenant(),
+            trace_id=self._trace_id,
+            latency_s=round(elapsed, 6),
+        )
+
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         self._dispatch("GET")
 
@@ -192,6 +262,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         )
 
     def handle_metrics(self) -> None:
+        fmt = (self._query.get("format") or ["json"])[0]
+        if fmt == "prometheus":
+            self._send_text(
+                200,
+                render_registry(self.server.broker.registry),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
         self._send_json(
             200,
             self.server.broker.metrics_snapshot(
@@ -202,7 +280,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def handle_submit(self) -> None:
         spec = self._read_json_body()
         jobs = expand_spec(spec, settings=self.server.settings)
-        sweep = self.server.broker.submit(jobs, tenant=self._tenant())
+        parent = (
+            self._ingress_span.span_id
+            if self._ingress_span is not None
+            else None
+        )
+        sweep = self.server.broker.submit(
+            jobs,
+            tenant=self._tenant(),
+            trace_id=self._trace_id,
+            parent_span=parent,
+        )
         self._send_json(201, {"sweep": sweep.snapshot()})
 
     def handle_sweep(self, sweep_id: str) -> None:
@@ -237,8 +325,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no such sweep {sweep_id!r}"})
             return
         self.server.count_request(self._route_label, 200)
+        self._status = 200
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header(TRACE_HEADER, self._trace_id)
         # Streamed body: no Content-Length, so the connection must close
         # to delimit it (HTTP/1.1).
         self.send_header("Connection", "close")
@@ -260,6 +350,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             ):
                 return
             events = broker.wait_events(sweep_id, cursor, timeout=0.5) or []
+
+    def handle_trace(self, sweep_id: str) -> None:
+        """The sweep's recorded spans (requires tracing enabled)."""
+        snapshot = self.server.broker.trace_snapshot(sweep_id)
+        if snapshot is None:
+            self._send_json(404, {"error": f"no trace for sweep {sweep_id!r}"})
+            return
+        self._send_json(200, snapshot)
 
     def handle_result(self, key: str) -> None:
         summary = self.server.broker.result(key)
@@ -309,12 +407,30 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
+        self._send_body(
+            status, body, "application/json", extra_headers=extra_headers
+        )
+
+    def _send_text(
+        self, status: int, text: str, content_type: str
+    ) -> None:
+        self._send_body(status, text.encode(), content_type)
+
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._status = status
         self.server.count_request(
             getattr(self, "_route_label", "unmatched"), status
         )
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header(TRACE_HEADER, self._trace_id)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()

@@ -36,6 +36,7 @@ import hashlib
 import threading
 import time
 from collections import deque
+from dataclasses import replace
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import (
@@ -44,6 +45,8 @@ from ..errors import (
     SweepSpecError,
 )
 from ..metrics.throughput import aggregate_host
+from ..obs import MetricsRegistry, SpanBook, new_trace_id
+from ..obs.tracing import Span
 from ..orchestrate import (
     Orchestrator,
     ResultCache,
@@ -85,8 +88,9 @@ SWEEP_CANCELLED = "cancelled"
 
 _TERMINAL = frozenset({JOB_DONE, JOB_FAILED, JOB_CANCELLED, JOB_CACHED})
 
-#: bump when the /v1/metrics payload shape changes.
-METRICS_SCHEMA = 1
+#: bump when the /v1/metrics payload shape changes.  v2 adds the
+#: ``limits`` section and the labeled ``metrics`` registry dump.
+METRICS_SCHEMA = 2
 
 
 class _Entry:
@@ -94,6 +98,7 @@ class _Entry:
 
     __slots__ = (
         "key", "job", "tenant", "attempts", "ready_at", "state", "sweeps",
+        "trace_id", "parent_span", "enqueued", "dispatched", "exec_span",
     )
 
     def __init__(self, key: str, job: SimJob, tenant: str) -> None:
@@ -104,6 +109,14 @@ class _Entry:
         self.ready_at = 0.0  # perf_counter gate for retry backoff
         self.state = JOB_QUEUED
         self.sweeps: List["Sweep"] = []
+        #: trace context (repro.obs): the submitting sweep's trace —
+        #: first submitter wins for coalesced entries — plus the
+        #: admission span the queue/execute spans nest under.
+        self.trace_id: Optional[str] = None
+        self.parent_span: Optional[str] = None
+        self.enqueued = 0.0  # span-book time the entry (re)entered the queue
+        self.dispatched = 0.0  # perf_counter at dispatch (exec latency)
+        self.exec_span: Optional[Span] = None
 
     @property
     def instructions(self) -> int:
@@ -114,16 +127,24 @@ class _Entry:
 class Sweep:
     """One client submission: job statuses plus an NDJSON event feed."""
 
-    def __init__(self, sweep_id: str, tenant: str, keys: List[str]) -> None:
+    def __init__(
+        self,
+        sweep_id: str,
+        tenant: str,
+        keys: List[str],
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.id = sweep_id
         self.tenant = tenant
         self.keys = keys  # unique, submission order
+        self.trace_id = trace_id
         self.labels: Dict[str, str] = {}
         self.statuses: Dict[str, str] = {}
         self.errors: Dict[str, str] = {}
         self.events: List[Dict[str, Any]] = []
         self.created = time.perf_counter()
         self.cancel_requested = False
+        self.spans_exported = False
 
     @property
     def state(self) -> str:
@@ -147,6 +168,7 @@ class Sweep:
             "id": self.id,
             "tenant": self.tenant,
             "state": self.state,
+            **({"trace_id": self.trace_id} if self.trace_id else {}),
             "total": len(self.keys),
             "counts": self.counts(),
             "age_s": time.perf_counter() - self.created,
@@ -226,6 +248,21 @@ class JobBroker:
         #: broker-thread time attribution (pool_wait vs execute_job vs
         #: orchestrate bookkeeping), surfaced on /v1/metrics.
         self.phase_timer = PhaseTimer()
+        #: the unified labeled registry (repro.obs) behind both the
+        #: ``metrics`` section of /v1/metrics and the Prometheus view.
+        #: Always on — it *is* the metrics endpoint's data source.
+        self.registry = MetricsRegistry()
+        self._build_instruments()
+        #: span recorder; a disabled book (``tracing=False``) makes
+        #: every tracing hook below a no-op.
+        self.spans = SpanBook(
+            enabled=self.config.tracing, max_spans=self.config.max_spans
+        )
+        self._spans_dir = (
+            self.cache.directory / "obs"
+            if self.cache.directory is not None
+            else None
+        )
         self._pool: Optional[WorkerPool] = None
         self._queued_count = 0
         self._running_count = 0
@@ -233,6 +270,69 @@ class JobBroker:
         self._started_at = 0.0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+
+    def _build_instruments(self) -> None:
+        """Declare every broker metric once, up front — the exposition
+        then always lists the full families, idle tenants aside."""
+        reg = self.registry
+        self.m_http = reg.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route, status and tenant.",
+            ["route", "status", "tenant"],
+        )
+        self.m_http_latency = reg.histogram(
+            "repro_http_request_seconds",
+            "HTTP request service time, by route.",
+            ["route"],
+        )
+        self.m_admitted = reg.counter(
+            "repro_jobs_admitted_total",
+            "Per-job admission outcomes (queued/cached/coalesced/deduped).",
+            ["tenant", "outcome"],
+        )
+        self.m_rejects = reg.counter(
+            "repro_admission_rejects_total",
+            "Whole-sweep admission refusals, by reason.",
+            ["tenant", "reason"],
+        )
+        self.m_cache = reg.counter(
+            "repro_result_cache_requests_total",
+            "Result-cache consultations per unique submitted job: "
+            "hit (memoized), coalesced (in flight), miss (fresh work).",
+            ["outcome"],
+        )
+        self.m_completed = reg.counter(
+            "repro_jobs_completed_total",
+            "Terminal job outcomes, by tenant.",
+            ["tenant", "status"],
+        )
+        self.m_retries = reg.counter(
+            "repro_job_retries_total",
+            "Job attempts that failed and were re-queued.",
+            ["tenant"],
+        )
+        self.m_queue_wait = reg.histogram(
+            "repro_queue_wait_seconds",
+            "Time from admission to dispatch, by tenant.",
+            ["tenant"],
+        )
+        self.m_exec = reg.histogram(
+            "repro_job_exec_seconds",
+            "Job execution wall time, by tenant.",
+            ["tenant"],
+        )
+        self.g_queue_depth = reg.gauge(
+            "repro_queue_depth", "Jobs admitted but not yet dispatched."
+        )
+        self.g_running = reg.gauge(
+            "repro_jobs_running", "Jobs currently executing."
+        )
+        self.g_workers = reg.gauge(
+            "repro_workers", "Worker processes in the pool."
+        )
+        self.g_workers_busy = reg.gauge(
+            "repro_workers_busy", "Worker processes currently executing."
+        )
 
     # -- lifecycle -------------------------------------------------------------
     def start(self) -> "JobBroker":
@@ -272,8 +372,18 @@ class JobBroker:
             self._pool = None
 
     # -- client-facing API (handler threads) -----------------------------------
-    def submit(self, jobs: List[SimJob], tenant: str = "public") -> Sweep:
+    def submit(
+        self,
+        jobs: List[SimJob],
+        tenant: str = "public",
+        trace_id: Optional[str] = None,
+        parent_span: Optional[str] = None,
+    ) -> Sweep:
         """Admit a sweep (all-or-nothing) and return its tracking state.
+
+        ``trace_id``/``parent_span`` carry the caller's request trace
+        (HTTP ingress); with tracing on and no caller trace, the sweep
+        mints its own, so direct broker use traces too.
 
         Raises :class:`SweepSpecError` for an oversized/empty sweep,
         :class:`QueueFullError` / :class:`QuotaExceededError` when
@@ -287,58 +397,104 @@ class JobBroker:
                 f"sweep expands to {len(jobs)} jobs; the service accepts "
                 f"at most {self.config.max_sweep_jobs} per submission"
             )
+        if trace_id is None and self.spans.enabled:
+            trace_id = new_trace_id()
+        admission = self.spans.begin(
+            "admission",
+            trace_id or "",
+            parent_id=parent_span,
+            tenant=tenant,
+            jobs=len(jobs),
+        )
         ordered: Dict[str, SimJob] = {}
         for job in jobs:
             ordered.setdefault(self.key_fn(job), job)
-        with self._cond:
-            cached: Dict[str, RunSummary] = {}
-            coalesced: List[str] = []
-            fresh: List[str] = []
-            for key, job in ordered.items():
-                if key in self._inflight:
-                    coalesced.append(key)
-                    continue
-                hit = self.cache.load(key)
-                if hit is not None:
-                    cached[key] = hit
-                else:
-                    fresh.append(key)
-            self._admit(tenant, [ordered[key] for key in fresh])
-            sweep = self._new_sweep(tenant, list(ordered))
-            for key, job in ordered.items():
-                sweep.labels[key] = job.label()
-            for key in cached:
-                sweep.statuses[key] = JOB_CACHED
-            for key in coalesced:
-                entry = self._inflight[key]
-                entry.sweeps.append(sweep)
-                sweep.statuses[key] = (
-                    JOB_RUNNING if entry.state == JOB_RUNNING else JOB_QUEUED
+        try:
+            with self._cond:
+                cached: Dict[str, RunSummary] = {}
+                coalesced: List[str] = []
+                fresh: List[str] = []
+                for key, job in ordered.items():
+                    if key in self._inflight:
+                        coalesced.append(key)
+                        continue
+                    hit = self.cache.load(key)
+                    if hit is not None:
+                        cached[key] = hit
+                    else:
+                        fresh.append(key)
+                self._admit(tenant, [ordered[key] for key in fresh])
+                sweep = self._new_sweep(tenant, list(ordered), trace_id)
+                for key, job in ordered.items():
+                    sweep.labels[key] = job.label()
+                for key in cached:
+                    sweep.statuses[key] = JOB_CACHED
+                for key in coalesced:
+                    entry = self._inflight[key]
+                    entry.sweeps.append(sweep)
+                    sweep.statuses[key] = (
+                        JOB_RUNNING
+                        if entry.state == JOB_RUNNING
+                        else JOB_QUEUED
+                    )
+                enqueued_at = self.spans.now()
+                for key in fresh:
+                    entry = _Entry(key, ordered[key], tenant)
+                    entry.sweeps.append(sweep)
+                    entry.trace_id = trace_id
+                    entry.parent_span = (
+                        admission.span_id if self.spans.enabled else None
+                    )
+                    entry.enqueued = enqueued_at
+                    self._inflight[key] = entry
+                    self._queue.append(entry)
+                    self._queued_count += 1
+                    sweep.statuses[key] = JOB_QUEUED
+                counters = self.counters
+                counters["sweeps_submitted"] += 1
+                counters["jobs_submitted"] += len(jobs)
+                counters["jobs_deduped"] += len(jobs) - len(ordered)
+                counters["jobs_cached"] += len(cached)
+                counters["jobs_coalesced"] += len(coalesced)
+                self._event(
+                    sweep,
+                    "sweep_submitted",
+                    total=len(ordered),
+                    cached=len(cached),
+                    coalesced=len(coalesced),
+                    queued=len(fresh),
+                    trace_id=trace_id,
                 )
-            for key in fresh:
-                entry = _Entry(key, ordered[key], tenant)
-                entry.sweeps.append(sweep)
-                self._inflight[key] = entry
-                self._queue.append(entry)
-                self._queued_count += 1
-                sweep.statuses[key] = JOB_QUEUED
-            counters = self.counters
-            counters["sweeps_submitted"] += 1
-            counters["jobs_submitted"] += len(jobs)
-            counters["jobs_deduped"] += len(jobs) - len(ordered)
-            counters["jobs_cached"] += len(cached)
-            counters["jobs_coalesced"] += len(coalesced)
-            self._event(
-                sweep,
-                "sweep_submitted",
-                total=len(ordered),
-                cached=len(cached),
-                coalesced=len(coalesced),
-                queued=len(fresh),
+                for key in cached:
+                    self._event(sweep, "job_cached", key=key)
+                self._cond.notify_all()
+        except (QueueFullError, QuotaExceededError) as exc:
+            reason = (
+                "queue_full" if isinstance(exc, QueueFullError) else "quota"
             )
-            for key in cached:
-                self._event(sweep, "job_cached", key=key)
-            self._cond.notify_all()
+            self.m_rejects.inc(tenant=tenant, reason=reason)
+            self.spans.end(admission, rejected=reason)
+            raise
+        # registry accounting happens outside the broker lock: the
+        # registry has its own, and lock order must stay acyclic.
+        self.m_cache.inc(len(cached), outcome="hit")
+        self.m_cache.inc(len(coalesced), outcome="coalesced")
+        self.m_cache.inc(len(fresh), outcome="miss")
+        self.m_admitted.inc(len(fresh), tenant=tenant, outcome="queued")
+        self.m_admitted.inc(len(cached), tenant=tenant, outcome="cached")
+        self.m_admitted.inc(
+            len(coalesced), tenant=tenant, outcome="coalesced"
+        )
+        self.m_admitted.inc(
+            len(jobs) - len(ordered), tenant=tenant, outcome="deduped"
+        )
+        self.spans.end(
+            admission,
+            sweep_id=sweep.id,
+            queued=len(fresh),
+            cached=len(cached),
+            coalesced=len(coalesced),
+        )
         log.info(
             "sweep_submitted",
             sweep=sweep.id,
@@ -347,7 +503,10 @@ class JobBroker:
             cached=len(cached),
             coalesced=len(coalesced),
             queued=len(fresh),
+            trace_id=trace_id,
         )
+        if not fresh:
+            self._export_spans_if_done(sweep)
         return sweep
 
     def _admit(self, tenant: str, fresh_jobs: List[SimJob]) -> None:
@@ -392,10 +551,14 @@ class JobBroker:
             0, self._tenant_instr.get(tenant, 0) - entry.instructions
         )
 
-    def _new_sweep(self, tenant: str, keys: List[str]) -> Sweep:
+    def _new_sweep(
+        self, tenant: str, keys: List[str], trace_id: Optional[str] = None
+    ) -> Sweep:
         self._sweep_seq += 1
         digest = hashlib.sha1("|".join(keys).encode()).hexdigest()[:8]
-        sweep = Sweep(f"swp-{self._sweep_seq:05d}-{digest}", tenant, keys)
+        sweep = Sweep(
+            f"swp-{self._sweep_seq:05d}-{digest}", tenant, keys, trace_id
+        )
         self._sweeps[sweep.id] = sweep
         return sweep
 
@@ -444,7 +607,17 @@ class JobBroker:
                     self._event(subscriber, "job_cancelled", key=key)
             self.counters["sweeps_cancelled"] += 1
             self._cond.notify_all()
-        log.info("sweep_cancelled", sweep=sweep_id, drained=cancelled)
+        if cancelled:
+            self.m_completed.inc(
+                cancelled, tenant=sweep.tenant, status="cancelled"
+            )
+        log.info(
+            "sweep_cancelled",
+            sweep=sweep_id,
+            drained=cancelled,
+            trace_id=sweep.trace_id,
+        )
+        self._export_spans_if_done(sweep)
         return cancelled
 
     def wait_events(
@@ -497,6 +670,13 @@ class JobBroker:
             digests = list(self.host_digests)
         uptime = time.perf_counter() - self._started_at
         workers = self._pool.size if self._pool is not None else 0
+        busy = self._pool.busy_count if self._pool is not None else 0
+        # refresh the point-in-time gauges so both views (JSON body,
+        # Prometheus exposition) see snapshot-fresh values.
+        self.g_queue_depth.set(queue["depth"])
+        self.g_running.set(queue["running"])
+        self.g_workers.set(workers)
+        self.g_workers_busy.set(busy)
         snapshot: Dict[str, Any] = {
             "schema": METRICS_SCHEMA,
             "uptime_s": uptime,
@@ -505,6 +685,11 @@ class JobBroker:
             "jobs": counters,
             "sweeps": {"total": sweeps_total, "active": sweeps_active},
             "tenants": tenants,
+            "limits": {
+                "tenant_jobs": self.config.tenant_jobs,
+                "tenant_instructions": self.config.tenant_instructions,
+            },
+            "metrics": self.registry.to_dict(),
             "host": aggregate_host(
                 digests, workers=max(1, workers), wall_s=uptime or None
             ),
@@ -555,6 +740,120 @@ class JobBroker:
         if timer.depth:
             timer.exit()
 
+    def _begin_execution(self, entry: _Entry) -> None:
+        """Dispatch-time observability (lock held): close the queue
+        span, open the execute span, observe queue wait — and, when
+        tracing, switch on host-phase timing so the simulated phases
+        come back as child spans.  ``host_phases`` never joins the job
+        key and the result cache strips ``host`` before storing, so
+        traced and untraced cache entries stay byte-identical.
+        """
+        entry.dispatched = time.perf_counter()
+        self.m_queue_wait.observe(
+            max(0.0, self.spans.now() - entry.enqueued), tenant=entry.tenant
+        )
+        if not self.spans.enabled or not entry.trace_id:
+            return
+        queue_span = self.spans.add(
+            "queue",
+            entry.trace_id,
+            start=entry.enqueued,
+            end=self.spans.now(),
+            parent_id=entry.parent_span,
+            kind="queue",
+            job_key=entry.key,
+        )
+        entry.exec_span = self.spans.begin(
+            "execute",
+            entry.trace_id,
+            parent_id=queue_span.span_id if queue_span is not None else None,
+            kind="worker",
+            job_key=entry.key,
+            tenant=entry.tenant,
+        )
+        if not entry.job.host_phases:
+            entry.job = replace(entry.job, host_phases=True)
+
+    def _end_exec_span(
+        self, entry: _Entry, status: str, host: Optional[Dict[str, Any]]
+    ) -> None:
+        """Close the execute span and replay the job's host phases as
+        its children — the worker ships phase *durations* over the
+        pipe, and they are laid back to back inside the execute span
+        here, in the broker's clock domain."""
+        span = entry.exec_span
+        entry.exec_span = None
+        if span is None or not self.spans.enabled or not entry.trace_id:
+            return
+        self.spans.end(span, status=status, attempts=entry.attempts)
+        phases = (host or {}).get("phases") or {}
+        offset = span.start
+        for name, digest in sorted(
+            phases.items(), key=lambda kv: -float(kv[1].get("s", 0.0))
+        ):
+            seconds = float(digest.get("s", 0.0))
+            if seconds <= 0.0:
+                continue
+            self.spans.add(
+                name,
+                entry.trace_id,
+                start=offset,
+                end=offset + seconds,
+                parent_id=span.span_id,
+                kind="phase",
+                count=int(digest.get("count", 0)),
+            )
+            offset += seconds
+
+    def _export_spans_if_done(self, sweep: Sweep) -> None:
+        """Write ``obs/spans-<sweep>.jsonl`` once a sweep is terminal.
+
+        Called outside the broker lock — file I/O must never block
+        admission.  The flag race is benign: a double export rewrites
+        the same content.
+        """
+        if (
+            not self.spans.enabled
+            or sweep.trace_id is None
+            or self._spans_dir is None
+            or sweep.spans_exported
+            or sweep.state == SWEEP_RUNNING
+        ):
+            return
+        spans = self.spans.snapshot(sweep.trace_id)
+        if not spans:
+            return
+        sweep.spans_exported = True
+        self._spans_dir.mkdir(parents=True, exist_ok=True)
+        path = self._spans_dir / f"spans-{sweep.id}.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            self.spans.write_jsonl(handle, spans)
+        log.debug(
+            "spans_exported", sweep=sweep.id, path=str(path), spans=len(spans)
+        )
+
+    def trace_snapshot(self, sweep_id: str) -> Optional[Dict[str, Any]]:
+        """The GET /v1/sweeps/{id}/trace body; None for unknown sweeps."""
+        with self._lock:
+            sweep = self._sweeps.get(sweep_id)
+        if sweep is None:
+            return None
+        spans = (
+            self.spans.snapshot(sweep.trace_id) if sweep.trace_id else []
+        )
+        return {
+            "sweep": sweep.id,
+            "trace_id": sweep.trace_id,
+            "spans": [span.to_json_dict() for span in spans],
+        }
+
+    def observe_http(
+        self, route: str, status: int, tenant: str, seconds: float
+    ) -> None:
+        """Per-request registry accounting, called by the HTTP layer."""
+        self.m_http.inc(route=route, status=status, tenant=tenant)
+        self.m_http_latency.observe(seconds, route=route)
+
     def _pop_ready(self) -> Optional[_Entry]:
         """Next runnable queued entry, honouring retry backoff (lock held)."""
         now = time.perf_counter()
@@ -579,6 +878,7 @@ class JobBroker:
                 self._queued_count -= 1
                 self._running_count += 1
                 self._release_quota(entry)
+                self._begin_execution(entry)
                 for sweep in entry.sweeps:
                     sweep.statuses[entry.key] = JOB_RUNNING
                     self._event(
@@ -601,9 +901,12 @@ class JobBroker:
         elif entry.attempts > self.config.retries:
             self._fail(entry, str(payload))
         else:
+            self._end_exec_span(entry, "retry", None)
+            self.m_retries.inc(tenant=entry.tenant)
             with self._cond:
                 self.counters["jobs_retried"] += 1
                 entry.state = JOB_QUEUED
+                entry.enqueued = self.spans.now()
                 entry.ready_at = time.perf_counter() + self.config.backoff * (
                     2 ** (entry.attempts - 1)
                 )
@@ -632,7 +935,7 @@ class JobBroker:
                 self._cond.notify_all()
             log.warning(
                 "job_retry", key=key, attempt=entry.attempts,
-                error=str(payload),
+                error=str(payload), trace_id=entry.trace_id,
             )
 
     def _next_inline(self) -> Optional[_Entry]:
@@ -644,6 +947,7 @@ class JobBroker:
             self._queued_count -= 1
             self._running_count += 1
             self._release_quota(entry)
+            self._begin_execution(entry)
             for sweep in entry.sweeps:
                 sweep.statuses[entry.key] = JOB_RUNNING
                 self._event(sweep, "job_started", key=entry.key, attempt=1)
@@ -659,12 +963,17 @@ class JobBroker:
         """
         timer = self.phase_timer
         timer.enter(PHASE_EXECUTE_JOB)
+        if entry.trace_id is not None:
+            # the orchestrator journals manifest lines and failure
+            # diagnostics; registering the trace makes them joinable.
+            self.orchestrator.trace_ids[entry.key] = entry.trace_id
         try:
             results = self.orchestrator.run(
                 [entry.job], raise_on_failure=False
             )
         finally:
             timer.exit()
+            self.orchestrator.trace_ids.pop(entry.key, None)
         if entry.key in results:
             entry.attempts = 1
             self._complete(entry, results[entry.key], store=False)
@@ -691,7 +1000,14 @@ class JobBroker:
                     attempts=entry.attempts,
                     label=entry.job.label(),
                     host=compact_host(summary.host),
+                    trace_id=entry.trace_id,
                 )
+        self._end_exec_span(entry, "done", summary.host)
+        self.m_exec.observe(
+            max(0.0, time.perf_counter() - entry.dispatched),
+            tenant=entry.tenant,
+        )
+        self.m_completed.inc(tenant=entry.tenant, status="done")
         digest = compact_host(summary.host)
         with self._cond:
             self.counters["jobs_executed"] += 1
@@ -710,8 +1026,17 @@ class JobBroker:
                     host=digest,
                 )
             self._cond.notify_all()
+            subscribers = list(entry.sweeps)
+        for sweep in subscribers:
+            self._export_spans_if_done(sweep)
 
     def _fail(self, entry: _Entry, error: str) -> None:
+        self._end_exec_span(entry, "failed", None)
+        self.m_exec.observe(
+            max(0.0, time.perf_counter() - entry.dispatched),
+            tenant=entry.tenant,
+        )
+        self.m_completed.inc(tenant=entry.tenant, status="failed")
         with self._cond:
             self.counters["jobs_failed"] += 1
             entry.state = JOB_FAILED
@@ -728,7 +1053,12 @@ class JobBroker:
                     error=error,
                 )
             self._cond.notify_all()
-        log.error("job_failed", key=entry.key, error=error)
+            subscribers = list(entry.sweeps)
+        log.error(
+            "job_failed", key=entry.key, error=error, trace_id=entry.trace_id
+        )
+        for sweep in subscribers:
+            self._export_spans_if_done(sweep)
 
     def _event(self, sweep: Sweep, event: str, **fields: Any) -> None:
         """Append one progress event to a sweep's feed (lock held)."""

@@ -54,6 +54,14 @@ class ServiceConfig:
     #: largest accepted request body, bytes (sweep specs are small;
     #: anything bigger is a client bug, not a bigger sweep).
     max_body_bytes: int = 4_000_000
+    #: request-scoped tracing (repro.obs): mint/propagate trace ids,
+    #: record spans, export per-sweep span artefacts.  Off makes every
+    #: tracing hook a no-op (disabled-is-free); the metrics registry
+    #: stays on either way — it backs /v1/metrics.
+    tracing: bool = True
+    #: bound on spans held in memory; newest spans beyond it are
+    #: dropped (and counted) rather than evicting parents.
+    max_spans: int = 20_000
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -74,6 +82,8 @@ class ServiceConfig:
             raise ConfigurationError("backoff must be >= 0")
         if self.max_body_bytes < 1:
             raise ConfigurationError("max_body_bytes must be >= 1")
+        if self.max_spans < 1:
+            raise ConfigurationError("max_spans must be >= 1")
 
     @classmethod
     def from_env(cls) -> "ServiceConfig":
@@ -84,6 +94,7 @@ class ServiceConfig:
             return cast(raw) if raw else default
 
         timeout = env.get("REPRO_SERVICE_JOB_TIMEOUT", "")
+        tracing_raw = env.get("REPRO_SERVICE_TRACING", "").strip().lower()
         return cls(
             host=_get("HOST", cls.host, str),
             port=_get("PORT", cls.port, int),
@@ -98,4 +109,10 @@ class ServiceConfig:
             job_timeout=float(timeout) if timeout else None,
             retries=_get("RETRIES", cls.retries, int),
             backoff=_get("BACKOFF", cls.backoff, float),
+            tracing=(
+                cls.tracing
+                if not tracing_raw
+                else tracing_raw not in ("0", "false", "no", "off")
+            ),
+            max_spans=_get("MAX_SPANS", cls.max_spans, int),
         )

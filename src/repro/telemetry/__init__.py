@@ -49,10 +49,12 @@ from .schema import (
     EVENT_SCHEMA,
     RUN_MANIFEST_SCHEMA,
     SERVICE_METRICS_SCHEMA,
+    SPAN_SCHEMA,
     validate_chrome_trace,
     validate_events_jsonl,
     validate_run_manifest,
     validate_service_metrics,
+    validate_spans_jsonl,
 )
 from .tracer import Tracer
 
@@ -82,6 +84,7 @@ __all__ = [
     "RUN_MANIFEST_SCHEMA",
     "RunTelemetry",
     "SERVICE_METRICS_SCHEMA",
+    "SPAN_SCHEMA",
     "StructuredLogger",
     "TelemetryConfig",
     "TraceEvent",
@@ -93,5 +96,6 @@ __all__ = [
     "validate_events_jsonl",
     "validate_run_manifest",
     "validate_service_metrics",
+    "validate_spans_jsonl",
     "write_events_jsonl",
 ]

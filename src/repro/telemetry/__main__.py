@@ -21,6 +21,7 @@ from .schema import (
     validate_events_jsonl,
     validate_run_manifest,
     validate_service_metrics,
+    validate_spans_jsonl,
 )
 
 log = get_logger("repro.telemetry")
@@ -33,6 +34,9 @@ def validate_dir(out_dir: Path) -> int:
     for path in sorted(out_dir.glob("events-*.jsonl")):
         checked += 1
         failures += _report(path, validate_events_jsonl(path))
+    for path in sorted(out_dir.glob("spans-*.jsonl")):
+        checked += 1
+        failures += _report(path, validate_spans_jsonl(path))
     trace = out_dir / "trace.json"
     if trace.exists():
         checked += 1

@@ -27,11 +27,14 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
+from ..obs.tracing import new_span_id, new_trace_id
 from .config import TelemetryConfig
 from .events import TraceEvent
 
 #: ``run-manifest.json`` schema version (see RUN_MANIFEST_SCHEMA).
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 adds the run-wide ``trace_id`` and per-job ``trace_id``/``span_id``
+#: join keys (repro.obs request tracing).
+MANIFEST_SCHEMA_VERSION = 2
 
 #: Chrome-trace pid of the wall-time sweep lane group.
 SWEEP_PID = 0
@@ -195,11 +198,16 @@ class RunTelemetry:
     parallel and serial sweeps export identically-shaped artefacts.
     """
 
-    def __init__(self, config: TelemetryConfig) -> None:
+    def __init__(
+        self, config: TelemetryConfig, trace_id: Optional[str] = None
+    ) -> None:
         self.config = config
         self.out_dir = Path(config.out_dir)
         self.jobs: List[dict] = []
         self._origin = time.perf_counter()
+        # every CLI sweep is one trace; callers that arrived with a
+        # trace (the service path) pass theirs so artefacts join up.
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
 
     def now(self) -> float:
         """Seconds since this sweep's telemetry started (wall span)."""
@@ -238,6 +246,7 @@ class RunTelemetry:
             "start": start,
             "end": end,
             "wall_s": max(0.0, end - start),
+            "span_id": new_span_id(),
         }
         if telemetry:
             row["telemetry"] = telemetry
@@ -266,11 +275,17 @@ class RunTelemetry:
                 "cached": job["cached"],
                 "attempts": job["attempts"],
             }
-            for key in ("wall_s", "cpu_s", "events", "error", "host"):
+            for key in ("wall_s", "cpu_s", "events", "error", "host", "span_id"):
                 if key in job:
                     row[key] = job[key]
+            if not job["cached"]:
+                row["trace_id"] = self.trace_id
             jobs.append(row)
-        manifest = {"schema": MANIFEST_SCHEMA_VERSION, "jobs": jobs}
+        manifest = {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "jobs": jobs,
+            "trace_id": self.trace_id,
+        }
         if settings is not None:
             manifest["settings"] = settings
         return manifest

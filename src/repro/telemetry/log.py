@@ -43,16 +43,37 @@ class StructuredLogger:
         # wrappers), so the default must not be frozen at import.
         self._stream = stream
         self.level = level if level is not None else level_from_env()
+        self._bound: Dict[str, object] = {}
 
     @property
     def stream(self) -> TextIO:
         return self._stream if self._stream is not None else sys.stderr
 
+    def bind(self, **fields) -> "StructuredLogger":
+        """A child logger that stamps ``fields`` on every line.
+
+        This is how request context (``trace_id``, ``tenant``,
+        ``sweep_id``) rides along without threading it through every
+        call site; None values are dropped so unbound context costs
+        nothing.  The child shares the parent's stream and level.
+        """
+        child = StructuredLogger(self.name, stream=self._stream, level=self.level)
+        child._bound = dict(self._bound)
+        child._bound.update(
+            (key, value) for key, value in fields.items() if value is not None
+        )
+        return child
+
     def log(self, level: str, event: str, **fields) -> None:
         if LEVELS[level] < self.level:
             return
         record = {"level": level, "logger": self.name, "event": event}
-        record.update(fields)
+        record.update(self._bound)
+        # absent context (e.g. trace_id on an untraced run) is dropped,
+        # not serialised as null — lines stay identical to pre-tracing.
+        record.update(
+            (key, value) for key, value in fields.items() if value is not None
+        )
         stream = self.stream
         stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
         stream.flush()

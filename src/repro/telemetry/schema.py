@@ -70,6 +70,25 @@ CHROME_TRACE_SCHEMA: Dict = {
     },
 }
 
+#: one line of a ``spans-*.jsonl`` export from :mod:`repro.obs`.
+SPAN_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["name", "trace_id", "span_id", "start", "end", "kind"],
+    "properties": {
+        "name": {"type": "string"},
+        "trace_id": {"type": "string"},
+        "span_id": {"type": "string"},
+        "parent_id": {"type": "string"},
+        "start": {"type": "number", "minimum": 0},
+        "end": {"type": "number", "minimum": 0},
+        "kind": {
+            "type": "string",
+            "enum": ["server", "internal", "queue", "worker", "phase"],
+        },
+        "attrs": {"type": "object"},
+    },
+}
+
 #: the enriched per-sweep run manifest.
 RUN_MANIFEST_SCHEMA: Dict = {
     "type": "object",
@@ -77,6 +96,7 @@ RUN_MANIFEST_SCHEMA: Dict = {
     "properties": {
         "schema": {"type": "integer", "minimum": 1},
         "settings": {"type": "object"},
+        "trace_id": {"type": "string"},
         "jobs": {
             "type": "array",
             "items": {
@@ -93,6 +113,8 @@ RUN_MANIFEST_SCHEMA: Dict = {
                     "error": {"type": "string"},
                     "events": {"type": "integer", "minimum": 0},
                     "host": {"type": "object"},
+                    "trace_id": {"type": "string"},
+                    "span_id": {"type": "string"},
                 },
             },
         },
@@ -113,6 +135,8 @@ SERVICE_METRICS_SCHEMA: Dict = {
         "jobs",
         "sweeps",
         "tenants",
+        "limits",
+        "metrics",
         "host",
         "phases",
     ],
@@ -169,6 +193,17 @@ SERVICE_METRICS_SCHEMA: Dict = {
             },
         },
         "tenants": {"type": "object"},
+        "limits": {
+            "type": "object",
+            "required": ["tenant_jobs", "tenant_instructions"],
+            "properties": {
+                "tenant_jobs": {"type": "integer", "minimum": 0},
+                "tenant_instructions": {"type": "integer", "minimum": 0},
+            },
+        },
+        #: the labeled-registry dump (``repro.obs``); ``{}`` when the
+        #: registry is disabled, so the body shape never varies.
+        "metrics": {"type": "object"},
         "host": {"type": "object"},
         "phases": {"type": "object"},
         "requests": {"type": "object"},
@@ -223,6 +258,45 @@ def validate_events_jsonl(path: Union[str, Path]) -> List[str]:
             errors.append(f"line {number}: invalid JSON ({exc})")
             continue
         errors.extend(check(record, EVENT_SCHEMA, f"line {number}"))
+    return errors
+
+
+def validate_spans_jsonl(path: Union[str, Path]) -> List[str]:
+    """Validate every line of a span export, plus referential sanity:
+    parent ids must resolve within the file and spans must not end
+    before they start."""
+    errors: List[str] = []
+    span_ids = set()
+    parents = []  # (line number, parent_id)
+    for number, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"line {number}: invalid JSON ({exc})")
+            continue
+        errors.extend(check(record, SPAN_SCHEMA, f"line {number}"))
+        if isinstance(record, dict):
+            if isinstance(record.get("span_id"), str):
+                span_ids.add(record["span_id"])
+            if isinstance(record.get("parent_id"), str):
+                parents.append((number, record["parent_id"]))
+            start, end = record.get("start"), record.get("end")
+            if (
+                isinstance(start, (int, float))
+                and isinstance(end, (int, float))
+                and end < start
+            ):
+                errors.append(f"line {number}: span ends before it starts")
+    for number, parent_id in parents:
+        if parent_id not in span_ids:
+            errors.append(
+                f"line {number}: parent_id {parent_id!r} not in this file"
+            )
     return errors
 
 

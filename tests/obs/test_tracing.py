@@ -1,0 +1,146 @@
+"""SpanBook semantics: ids, nesting, bounds, exports, disabled-is-free."""
+
+import io
+import json
+
+from repro.obs import (
+    SpanBook,
+    new_span_id,
+    new_trace_id,
+    parse_trace_header,
+    span_tree,
+    spans_to_chrome_trace,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def tick(self, dt=1.0):
+        self.t += dt
+
+
+class TestIds:
+    def test_id_shapes(self):
+        assert len(new_trace_id()) == 32
+        assert len(new_span_id()) == 16
+        int(new_trace_id(), 16)  # hex
+
+    def test_parse_trace_header(self):
+        good = "AB" * 16
+        assert parse_trace_header(good) == good.lower()
+        assert parse_trace_header(f"  {good}  ") == good.lower()
+        for bad in (None, "", "short", "zz" * 16, "ab" * 17):
+            assert parse_trace_header(bad) is None
+
+
+class TestSpanBook:
+    def test_begin_end_records_with_relative_times(self):
+        clock = FakeClock()
+        book = SpanBook(clock=clock)
+        trace = new_trace_id()
+        span = book.begin("ingress", trace, kind="server", tenant="a")
+        clock.tick(2.0)
+        book.end(span, status=200)
+        [recorded] = book.snapshot()
+        assert recorded.start == 0.0
+        assert recorded.end == 2.0
+        assert recorded.duration == 2.0
+        assert recorded.attrs == {"tenant": "a", "status": 200}
+
+    def test_open_spans_are_not_in_the_book(self):
+        book = SpanBook()
+        book.begin("open", new_trace_id())
+        assert len(book) == 0
+
+    def test_none_attrs_are_dropped(self):
+        book = SpanBook()
+        span = book.begin("s", new_trace_id(), tenant=None)
+        book.end(span, status=None)
+        assert book.snapshot()[0].attrs == {}
+
+    def test_parent_child_nesting(self):
+        book = SpanBook()
+        trace = new_trace_id()
+        parent = book.begin("parent", trace)
+        child = book.begin("child", trace, parent_id=parent.span_id)
+        book.end(child)
+        book.end(parent)
+        tree = span_tree(book.snapshot(trace))
+        assert [s.name for s in tree[None]] == ["parent"]
+        assert [s.name for s in tree[parent.span_id]] == ["child"]
+
+    def test_add_records_pretimed_span(self):
+        book = SpanBook()
+        trace = new_trace_id()
+        span = book.add("phase", trace, start=1.0, end=3.5, kind="phase")
+        assert span.duration == 2.5
+        assert book.snapshot(trace)[0].name == "phase"
+
+    def test_capacity_drops_newest_and_counts(self):
+        book = SpanBook(max_spans=2)
+        trace = new_trace_id()
+        for index in range(4):
+            book.end(book.begin(f"s{index}", trace))
+        assert len(book) == 2
+        assert book.dropped == 2
+        assert [s.name for s in book.snapshot()] == ["s0", "s1"]
+
+    def test_snapshot_filters_by_trace_and_pop_removes(self):
+        book = SpanBook()
+        keep, take = new_trace_id(), new_trace_id()
+        book.end(book.begin("a", keep))
+        book.end(book.begin("b", take))
+        assert [s.name for s in book.snapshot(take)] == ["b"]
+        popped = book.pop_trace(take)
+        assert [s.name for s in popped] == ["b"]
+        assert [s.name for s in book.snapshot()] == ["a"]
+
+    def test_disabled_book_is_free(self):
+        book = SpanBook(enabled=False)
+        span = book.begin("s", new_trace_id(), tenant="a")
+        book.end(span, status=200)
+        assert book.add("p", new_trace_id(), 0.0, 1.0) is None
+        assert len(book) == 0
+        assert book.now() == 0.0
+
+
+class TestExports:
+    def _book(self):
+        clock = FakeClock()
+        book = SpanBook(clock=clock)
+        trace = new_trace_id()
+        parent = book.begin("parent", trace)
+        clock.tick()
+        child = book.begin("child", trace, parent_id=parent.span_id)
+        clock.tick()
+        book.end(child)
+        book.end(parent)
+        return book, trace, parent
+
+    def test_write_jsonl_round_trips(self):
+        book, trace, parent = self._book()
+        buffer = io.StringIO()
+        assert book.write_jsonl(buffer) == 2
+        lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert {line["name"] for line in lines} == {"parent", "child"}
+        child_line = next(l for l in lines if l["name"] == "child")
+        assert child_line["parent_id"] == parent.span_id
+        assert child_line["trace_id"] == trace
+        assert child_line["end"] >= child_line["start"]
+
+    def test_chrome_trace_shape(self):
+        book, trace, parent = self._book()
+        doc = spans_to_chrome_trace(book.snapshot())
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == 1  # one process lane per trace
+        assert {e["name"] for e in slices} == {"parent", "child"}
+        parent_slice = next(e for e in slices if e["name"] == "parent")
+        assert parent_slice["ts"] == 0.0
+        assert parent_slice["dur"] == 2e6

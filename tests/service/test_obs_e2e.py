@@ -1,0 +1,331 @@
+"""End-to-end observability: one trace id joins every artifact.
+
+Boots the real server with the real ``execute_job`` on a tiny job
+(quota small enough to finish in well under a second) and checks the
+PR's acceptance chain: the trace id minted at HTTP ingress shows up in
+the structured access log, in the exported span file (with the
+ingress → admission → queue → execute → sim-phase nesting), and in the
+sweep manifest — while the cached result bytes stay byte-identical to
+an untraced run.
+"""
+
+import io
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.obs import check_exposition, span_tree
+from repro.orchestrate import SimJob, job_key
+from repro.service import JobBroker, ServiceConfig, create_server
+from repro.service.app import access_log
+from repro.telemetry import validate_spans_jsonl
+from repro.telemetry.schema import SERVICE_METRICS_SCHEMA, check
+
+from .test_broker import fake_summary, make_job
+
+
+def tiny_job(**overrides) -> SimJob:
+    """A real-simulation job small enough for a unit-test budget."""
+    fields = dict(
+        mix_name="MIX_OBS",
+        apps=("bzi", "wrf"),
+        tla="none",
+        scale=0.0625,
+        quota=2_000,
+        warmup=500,
+    )
+    fields.update(overrides)
+    return SimJob(**fields)
+
+
+class LiveService:
+    """A real-execute server on an ephemeral port (inline broker)."""
+
+    def __init__(self, tmp_path, **overrides):
+        defaults = dict(port=0, workers=0, cache_dir=str(tmp_path / "cache"))
+        defaults.update(overrides)
+        self.config = ServiceConfig(**defaults)
+        self.broker = JobBroker(self.config)
+        self.server = create_server(self.config, broker=self.broker)
+        self.base = f"http://127.0.0.1:{self.server.server_address[1]}"
+        self.thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+
+    def __enter__(self):
+        self.broker.start()
+        self.thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.server.shutdown()
+        self.server.server_close()
+        self.broker.stop()
+        self.thread.join(5)
+
+    def request(self, method, path, body=None, headers=None):
+        request = urllib.request.Request(
+            self.base + path,
+            data=json.dumps(body).encode() if body is not None else None,
+            headers={"Content-Type": "application/json", **(headers or {})},
+            method=method,
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read()), response.headers
+
+    def wait_done(self, sweep_id, timeout=30.0):
+        deadline = time.perf_counter() + timeout
+        while True:
+            _, body, _ = self.request("GET", f"/v1/sweeps/{sweep_id}")
+            if body["sweep"]["state"] != "running":
+                return body["sweep"]
+            assert time.perf_counter() < deadline, "sweep stuck"
+            time.sleep(0.05)
+
+
+@pytest.fixture
+def captured_access_log():
+    """Divert the shared access logger into a buffer for one test."""
+    buffer = io.StringIO()
+    saved = access_log._stream
+    access_log._stream = buffer
+    try:
+        yield buffer
+    finally:
+        access_log._stream = saved
+
+
+def job_body(*jobs):
+    from repro.service import job_to_dict
+
+    return {"jobs": [job_to_dict(job) for job in jobs]}
+
+
+CLIENT_TRACE = "f" * 32
+
+
+class TestTracePropagation:
+    def test_one_trace_id_joins_every_artifact(
+        self, tmp_path, captured_access_log
+    ):
+        with LiveService(tmp_path) as service:
+            status, body, headers = service.request(
+                "POST",
+                "/v1/sweeps",
+                job_body(tiny_job()),
+                headers={"X-Repro-Trace": CLIENT_TRACE},
+            )
+            assert status == 201
+            assert headers["X-Repro-Trace"] == CLIENT_TRACE
+            sweep = body["sweep"]
+            assert sweep["trace_id"] == CLIENT_TRACE
+            final = service.wait_done(sweep["id"])
+            assert final["state"] == "done"
+
+            # -- access log: the submission line carries the trace id.
+            lines = [
+                json.loads(line)
+                for line in captured_access_log.getvalue().splitlines()
+            ]
+            submits = [l for l in lines if l["method"] == "POST"]
+            assert submits and submits[0]["trace_id"] == CLIENT_TRACE
+            assert submits[0]["status"] == 201
+            assert submits[0]["path"] == "/v1/sweeps"
+            assert submits[0]["latency_s"] >= 0
+            # every line has the full access-log shape
+            for line in lines:
+                assert {"method", "path", "status", "tenant", "trace_id",
+                        "latency_s"} <= set(line)
+
+            # -- span export: full chain under one trace, correctly
+            #    nested ingress → admission → queue → execute → phases.
+            _, trace_doc, _ = service.request(
+                "GET", f"/v1/sweeps/{sweep['id']}/trace"
+            )
+            assert trace_doc["trace_id"] == CLIENT_TRACE
+            spans = trace_doc["spans"]
+            assert {s["trace_id"] for s in spans} == {CLIENT_TRACE}
+            by_name = {s["name"]: s for s in spans}
+            assert by_name["ingress"]["kind"] == "server"
+            assert "parent_id" not in by_name["ingress"]
+            assert (
+                by_name["admission"]["parent_id"]
+                == by_name["ingress"]["span_id"]
+            )
+            assert by_name["queue"]["kind"] == "queue"
+            assert (
+                by_name["queue"]["parent_id"]
+                == by_name["admission"]["span_id"]
+            )
+            assert by_name["execute"]["kind"] == "worker"
+            assert (
+                by_name["execute"]["parent_id"]
+                == by_name["queue"]["span_id"]
+            )
+            phases = [s for s in spans if s["kind"] == "phase"]
+            assert phases, "execute must have simulated-phase children"
+            assert {p["parent_id"] for p in phases} == {
+                by_name["execute"]["span_id"]
+            }
+            assert {"sim_loop", "execute_job"} <= {p["name"] for p in phases}
+            for span in spans:
+                assert span["end"] >= span["start"]
+
+            # -- span artifact on disk validates against the schema.
+            spans_file = (
+                tmp_path / "cache" / "obs" / f"spans-{sweep['id']}.jsonl"
+            )
+            assert spans_file.exists()
+            assert validate_spans_jsonl(spans_file) == []
+
+            # -- manifest: the done record joins via the same trace id.
+            manifest = tmp_path / "cache" / "sweep-manifest.jsonl"
+            entries = [
+                json.loads(line)
+                for line in manifest.read_text().splitlines()
+            ]
+            done = [e for e in entries if e.get("status") == "done"]
+            assert done and done[0]["trace_id"] == CLIENT_TRACE
+            assert done[0]["key"] == job_key(tiny_job())
+
+    def test_minted_trace_when_client_sends_none(self, tmp_path):
+        with LiveService(tmp_path) as service:
+            _, body, headers = service.request(
+                "POST", "/v1/sweeps", job_body(tiny_job())
+            )
+            trace_id = body["sweep"]["trace_id"]
+            assert len(trace_id) == 32
+            assert headers["X-Repro-Trace"] == trace_id
+
+    def test_malformed_client_trace_is_replaced(self, tmp_path):
+        with LiveService(tmp_path) as service:
+            _, body, _ = service.request(
+                "POST",
+                "/v1/sweeps",
+                job_body(tiny_job()),
+                headers={"X-Repro-Trace": "not-hex!"},
+            )
+            assert body["sweep"]["trace_id"] != "not-hex!"
+            assert len(body["sweep"]["trace_id"]) == 32
+
+
+class TestMetricsSurface:
+    def test_per_tenant_histograms_and_schema(self, tmp_path):
+        with LiveService(tmp_path) as service:
+            _, body, _ = service.request(
+                "POST",
+                "/v1/sweeps",
+                job_body(tiny_job()),
+                headers={"X-Repro-Tenant": "acme"},
+            )
+            service.wait_done(body["sweep"]["id"])
+            _, metrics, _ = service.request("GET", "/v1/metrics")
+            assert check(metrics, SERVICE_METRICS_SCHEMA, "metrics") == []
+            assert metrics["schema"] == 2
+            exec_hist = metrics["metrics"]["repro_job_exec_seconds"]
+            [sample] = exec_hist["samples"]
+            assert sample["labels"] == {"tenant": "acme"}
+            assert sample["count"] == 1
+            assert sum(sample["counts"]) == 1
+            wait_hist = metrics["metrics"]["repro_queue_wait_seconds"]
+            assert [s["labels"]["tenant"] for s in wait_hist["samples"]] == [
+                "acme"
+            ]
+            assert metrics["limits"]["tenant_jobs"] == (
+                service.config.tenant_jobs
+            )
+
+    def test_prometheus_view_passes_checker(self, tmp_path):
+        with LiveService(tmp_path) as service:
+            _, body, _ = service.request(
+                "POST", "/v1/sweeps", job_body(tiny_job())
+            )
+            service.wait_done(body["sweep"]["id"])
+            with urllib.request.urlopen(
+                f"{service.base}/v1/metrics?format=prometheus", timeout=10
+            ) as response:
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+                text = response.read().decode()
+            assert check_exposition(text) == []
+            assert "repro_jobs_completed_total" in text
+            assert 'repro_job_exec_seconds_bucket' in text
+
+
+class TestDisabledIsFree:
+    def test_cache_bytes_identical_traced_and_untraced(self, tmp_path):
+        job = tiny_job()
+        key = job_key(job)
+        with LiveService(tmp_path / "on", tracing=True) as service:
+            _, body, _ = service.request("POST", "/v1/sweeps", job_body(job))
+            service.wait_done(body["sweep"]["id"])
+        with LiveService(tmp_path / "off", tracing=False) as service:
+            _, body, _ = service.request("POST", "/v1/sweeps", job_body(job))
+            service.wait_done(body["sweep"]["id"])
+            # trace ids still flow (they back the access log) but no
+            # spans may be recorded or exported.
+            assert len(service.broker.spans) == 0
+        traced = (tmp_path / "on" / "cache" / f"{key}.json").read_bytes()
+        untraced = (tmp_path / "off" / "cache" / f"{key}.json").read_bytes()
+        assert traced == untraced
+
+    def test_no_spans_when_tracing_disabled(self, tmp_path):
+        with LiveService(tmp_path, tracing=False) as service:
+            _, body, _ = service.request(
+                "POST", "/v1/sweeps", job_body(tiny_job())
+            )
+            service.wait_done(body["sweep"]["id"])
+            assert len(service.broker.spans) == 0
+            assert not (tmp_path / "cache" / "obs").exists()
+
+
+class TestCacheCounters:
+    def test_hit_miss_coalesce_account_for_every_submission(self, tmp_path):
+        """Satellite invariant: every unique submitted job is exactly
+        one of hit / coalesced / miss in the registry."""
+        gate = threading.Event()
+
+        def gated(job):
+            gate.wait(5)
+            return fake_summary(job)
+
+        broker = JobBroker(
+            ServiceConfig(
+                workers=0, cache_dir=str(tmp_path / "cache")
+            ),
+            execute=gated,
+        ).start()
+        try:
+            first = make_job()
+            # miss, then coalesce onto the in-flight entry, then dedup
+            # inside one sweep (deduped jobs are not cache requests;
+            # jobs are keyed by app composition + config, so the
+            # distinct second key needs a different TLA policy).
+            broker.submit([first])
+            broker.submit([first])
+            broker.submit([make_job(tla="qbs"), make_job(tla="qbs")])
+            gate.set()
+            deadline = time.perf_counter() + 10
+            while broker.counters["jobs_executed"] < 2:
+                assert time.perf_counter() < deadline
+                time.sleep(0.01)
+            # a fresh sweep for an already-cached key: a hit.
+            done = broker.submit([first])
+            assert done.state == "done"
+
+            cache = broker.m_cache
+            hit = cache.value(outcome="hit")
+            coalesced = cache.value(outcome="coalesced")
+            miss = cache.value(outcome="miss")
+            submitted = broker.counters["jobs_submitted"]
+            deduped = broker.counters["jobs_deduped"]
+            assert (hit, coalesced, miss) == (1, 1, 2)
+            assert hit + coalesced + miss == submitted - deduped
+        finally:
+            broker.stop()
