@@ -54,6 +54,16 @@ class ExperimentError(ReproError):
     """An experiment driver was asked for an unknown or invalid run."""
 
 
+class EvalError(ExperimentError):
+    """An evaluation request could not be satisfied.
+
+    Raised by :mod:`repro.eval` when pairing finds no usable runs
+    (empty cache, missing baseline policy) or a statistics routine is
+    asked for a degenerate computation (no paired samples, bad
+    confidence level).
+    """
+
+
 class OrchestrationError(ExperimentError):
     """A parallel sweep could not complete.
 

@@ -43,6 +43,7 @@ __all__ = [
     "ExperimentSettings",
     "Runner",
     "RunSummary",
+    "build_job",
     "cache_key",
 ]
 
@@ -119,14 +120,14 @@ def cache_key(
     environment (see ``tests/experiments/test_cache_key.py``).
     """
     return job_key(
-        _build_job(
+        build_job(
             settings, mix, mode, tla, llc_bytes, tla_config, quota, warmup,
             victim_cache_entries, intervals,
         )
     )
 
 
-def _build_job(
+def build_job(
     settings: ExperimentSettings,
     mix: WorkloadMix,
     mode: str = "inclusive",
@@ -164,6 +165,11 @@ def _build_job(
         trace_categories=telemetry.categories,
         host_phases=settings.host_phases,
     )
+
+
+#: backwards-compatible alias — ``build_job`` became public when
+#: :mod:`repro.eval` started resolving sweep coordinates to job keys.
+_build_job = build_job
 
 
 class Runner:
@@ -223,7 +229,7 @@ class Runner:
         the summary (the window in cycles); interval runs cache under
         their own key, so they never shadow plain runs.
         """
-        job = _build_job(
+        job = build_job(
             self.settings, mix, mode, tla, llc_bytes, tla_config, quota,
             warmup, victim_cache_entries, intervals,
         )
@@ -276,7 +282,7 @@ class Runner:
                 raise ExperimentError(
                     "run_many request needs a 'mix' entry"
                 ) from None
-            sim_jobs.append(_build_job(self.settings, mix, **request))
+            sim_jobs.append(build_job(self.settings, mix, **request))
         orchestrator = Orchestrator(
             jobs=jobs if jobs is not None else self.settings.jobs,
             cache=self.cache,

@@ -250,7 +250,7 @@ class Histogram(_Instrument):
 
 def quantile_from_buckets(
     bounds: Sequence[float], counts: Sequence[int], q: float
-) -> float:
+) -> Optional[float]:
     """Estimate the ``q``-quantile of a bucketed distribution.
 
     Linear interpolation inside the bucket that crosses the target
@@ -259,12 +259,18 @@ def quantile_from_buckets(
     lower bound, so the estimate never invents mass beyond the data.
     Exact when every observation sits on a bucket boundary — which the
     correctness tests exploit.
+
+    An empty histogram (no observations, or no buckets at all) has no
+    quantiles: the answer is ``None``, never a made-up 0.0 — renderers
+    show it as ``—`` so "no data" cannot be misread as "zero latency".
     """
     if not 0.0 <= q <= 1.0:
         raise ConfigurationError("quantile must be within [0, 1]")
+    if not bounds:
+        return None
     total = sum(counts)
     if total == 0:
-        return 0.0
+        return None
     rank = q * total
     seen = 0
     for index, count in enumerate(counts):

@@ -61,7 +61,7 @@ def _histogram_quantiles(
     name: str,
     qs: Sequence[float] = (0.5, 0.99),
     **match: str,
-) -> Optional[List[float]]:
+) -> Optional[List[Optional[float]]]:
     """Quantiles over one histogram family, series merged bucket-wise."""
     family = metrics.get(name)
     if not family or family.get("type") != "histogram":
@@ -163,8 +163,11 @@ def _fmt_rate(value: Optional[float]) -> str:
 
 
 def _fmt_seconds(value: Optional[float]) -> str:
+    # None means "no observations yet" (an empty histogram has no
+    # quantiles) — rendered as an em dash so it cannot be misread as
+    # a measured zero-latency.
     if value is None:
-        return "--"
+        return "—"
     return f"{value * 1000:.1f}ms" if value < 1.0 else f"{value:.2f}s"
 
 
@@ -233,7 +236,7 @@ def render_report(view: Dict[str, Any], url: str = "") -> str:
             f"| {_fmt_seconds(row['exec_p99'])} |"
         )
     if not view["tenants"]:
-        lines.append("| _none_ | 0 | - | - | 0 | -- | -- |")
+        lines.append("| _none_ | 0 | - | - | 0 | — | — |")
     return "\n".join(lines)
 
 

@@ -30,7 +30,7 @@ from ..cpu import CMPSimulator
 from ..perf.phase import PHASE_EXECUTE_JOB, PhaseTimer
 from ..telemetry import TelemetryConfig, write_events_jsonl
 from ..version import __version__
-from ..workloads import WorkloadMix
+from ..workloads import WorkloadMix, mix_category
 
 #: Bump when simulator behaviour changes to invalidate stale caches.
 CACHE_SCHEMA = 6
@@ -118,6 +118,13 @@ class SimJob:
     def label(self) -> str:
         """Short human-readable identity for progress lines and logs."""
         return f"{self.mix_name}/{self.mode}/{self.tla}"
+
+    @property
+    def category(self) -> str:
+        """Workload-category tag (``"CCF+LLCT"``-style, core-order
+        free); journalled next to the job by the sweep manifest so
+        :mod:`repro.eval` slices need no workload-name parsing."""
+        return mix_category(self.apps)
 
 
 def job_key(job: SimJob) -> str:

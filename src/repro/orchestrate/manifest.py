@@ -33,6 +33,11 @@ class ManifestRecord:
     attempts: int = 1
     error: Optional[str] = None
     label: Optional[str] = None
+    #: workload-category tag of the job's mix (``"CCF+LLCT"``-style,
+    #: see :func:`repro.workloads.mix_category`); lets evaluation
+    #: tooling slice by category without re-deriving it from workload
+    #: names.  None for journals written before categories existed.
+    category: Optional[str] = None
     #: compact host-throughput digest for executed jobs (wall seconds,
     #: simulated instructions/s, accesses/s); None for cached/failed
     #: jobs or journals written before host metrics existed.
@@ -55,6 +60,7 @@ class SweepManifest:
         attempts: int = 1,
         error: Optional[str] = None,
         label: Optional[str] = None,
+        category: Optional[str] = None,
         host: Optional[Dict] = None,
         trace_id: Optional[str] = None,
     ) -> None:
@@ -64,6 +70,8 @@ class SweepManifest:
             entry["error"] = error
         if label is not None:
             entry["label"] = label
+        if category is not None:
+            entry["category"] = category
         if host is not None:
             entry["host"] = host
         if trace_id is not None:
@@ -103,6 +111,7 @@ class SweepManifest:
                 attempts=entry.get("attempts", 1),
                 error=entry.get("error"),
                 label=entry.get("label"),
+                category=entry.get("category"),
                 host=entry.get("host"),
                 trace_id=entry.get("trace_id"),
             )

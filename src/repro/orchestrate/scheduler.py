@@ -217,7 +217,11 @@ class Orchestrator:
         )
         if self.manifest is not None:
             self.manifest.record(
-                key, STATUS_CANCELLED, label=self._label(job), trace_id=trace_id
+                key,
+                STATUS_CANCELLED,
+                label=self._label(job),
+                category=self._category(job),
+                trace_id=trace_id,
             )
         if self.on_job_done is not None:
             self.on_job_done(key, STATUS_CANCELLED, "cancelled while queued", 0)
@@ -349,6 +353,12 @@ class Orchestrator:
     def _label(job: Any) -> str:
         return job.label() if hasattr(job, "label") else str(job)
 
+    @staticmethod
+    def _category(job: Any) -> Optional[str]:
+        """Workload-category tag for the manifest (None for non-SimJob
+        payloads, which keeps the orchestrator job-type agnostic)."""
+        return getattr(job, "category", None)
+
     def _trace_id(self, key: str) -> Optional[str]:
         """The trace a job belongs to: per-key registration wins, a
         telemetry-collected sweep falls back to its run trace."""
@@ -389,6 +399,7 @@ class Orchestrator:
                 STATUS_DONE,
                 attempts=attempts,
                 label=self._label(job),
+                category=self._category(job),
                 host=compact_host(host),
                 trace_id=self._trace_id(key),
             )
@@ -430,6 +441,7 @@ class Orchestrator:
                 attempts=attempts,
                 error=error,
                 label=self._label(job),
+                category=self._category(job),
                 trace_id=trace_id,
             )
         if self.telemetry is not None:

@@ -44,10 +44,16 @@ from urllib.parse import parse_qs, urlsplit
 
 import threading
 
-from ..errors import AdmissionError, SweepSpecError
+from ..errors import AdmissionError, EvalError, SweepSpecError
+from ..eval import (
+    BASELINE_POLICY,
+    build_report,
+    record_from_summary,
+    render_markdown,
+)
 from ..obs import new_trace_id, parse_trace_header, render_registry
 from ..telemetry import get_logger
-from .broker import SWEEP_RUNNING, JobBroker
+from .broker import JOB_CACHED, JOB_DONE, SWEEP_RUNNING, JobBroker
 from .config import ServiceConfig
 from .schemas import expand_spec, summary_to_dict
 
@@ -84,6 +90,12 @@ ROUTES: Tuple[Tuple[str, str, str, str], ...] = (
         r"^/v1/sweeps/(?P<sweep_id>[A-Za-z0-9_.-]+)/trace$",
         "handle_trace",
         "GET /v1/sweeps/{id}/trace",
+    ),
+    (
+        "GET",
+        r"^/v1/sweeps/(?P<sweep_id>[A-Za-z0-9_.-]+)/report$",
+        "handle_report",
+        "GET /v1/sweeps/{id}/report",
     ),
     (
         "GET",
@@ -358,6 +370,47 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no trace for sweep {sweep_id!r}"})
             return
         self._send_json(200, snapshot)
+
+    def handle_report(self, sweep_id: str) -> None:
+        """A/B evaluation report over the sweep's finished jobs.
+
+        ``?baseline=mode/tla`` overrides the paper default
+        (``inclusive/none``); ``?format=md`` returns the rendered
+        markdown instead of the JSON document; ``?resamples=N`` trades
+        p-value resolution for latency.  The report is computed from
+        cached summaries only (done + cache-hit jobs), so the endpoint
+        never blocks on simulation — for a still-running sweep it
+        evaluates the finished subset, and 409s until at least one
+        baseline/candidate pair of the same workload has completed.
+        """
+        broker = self.server.broker
+        sweep = broker.sweep(sweep_id)
+        if sweep is None:
+            self._send_json(404, {"error": f"no such sweep {sweep_id!r}"})
+            return
+        records = []
+        for key in sorted(sweep.statuses):
+            if sweep.statuses[key] not in (JOB_DONE, JOB_CACHED):
+                continue
+            summary = broker.result(key)
+            if summary is None:
+                continue
+            records.append(record_from_summary(key, summary))
+        baseline = self._query.get("baseline", [BASELINE_POLICY])[0]
+        resamples = self._int_query("resamples", 1000)
+        try:
+            report = build_report(
+                records, baseline=baseline, resamples=resamples
+            )
+        except EvalError as error:
+            self._send_json(409, {"error": str(error)})
+            return
+        if self._query.get("format", ["json"])[0] == "md":
+            self._send_text(
+                200, render_markdown(report), "text/markdown; charset=utf-8"
+            )
+            return
+        self._send_json(200, report)
 
     def handle_result(self, key: str) -> None:
         summary = self.server.broker.result(key)

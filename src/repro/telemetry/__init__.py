@@ -46,11 +46,13 @@ from .intervals import (
 from .log import StructuredLogger, get_logger, level_from_env
 from .schema import (
     CHROME_TRACE_SCHEMA,
+    EVAL_REPORT_SCHEMA,
     EVENT_SCHEMA,
     RUN_MANIFEST_SCHEMA,
     SERVICE_METRICS_SCHEMA,
     SPAN_SCHEMA,
     validate_chrome_trace,
+    validate_eval_report,
     validate_events_jsonl,
     validate_run_manifest,
     validate_service_metrics,
@@ -72,6 +74,7 @@ __all__ = [
     "EVENT_LLC_EVICT",
     "EVENT_LLC_MISS",
     "EVENT_MSHR_STALL",
+    "EVAL_REPORT_SCHEMA",
     "EVENT_QBS_PROMOTE",
     "EVENT_QBS_QUERY",
     "EVENT_SCHEMA",
@@ -93,6 +96,7 @@ __all__ = [
     "get_logger",
     "level_from_env",
     "validate_chrome_trace",
+    "validate_eval_report",
     "validate_events_jsonl",
     "validate_run_manifest",
     "validate_service_metrics",

@@ -11,6 +11,7 @@ drift.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List
@@ -18,6 +19,7 @@ from typing import List
 from .log import get_logger
 from .schema import (
     validate_chrome_trace,
+    validate_eval_report,
     validate_events_jsonl,
     validate_run_manifest,
     validate_service_metrics,
@@ -49,6 +51,9 @@ def validate_dir(out_dir: Path) -> int:
     if metrics.exists():
         checked += 1
         failures += _report(metrics, validate_service_metrics(metrics))
+    for path in sorted(out_dir.glob("eval-report*.json")):
+        checked += 1
+        failures += _report(path, validate_eval_report(path))
     if checked == 0:
         log.error("no_artifacts", dir=str(out_dir))
         return 1
@@ -81,7 +86,19 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     if args.dir.is_file():
-        return 1 if _report(args.dir, validate_service_metrics(args.dir)) else 0
+        # Single-file mode validates either saved document kind: an
+        # eval report declares itself via "kind"; anything else is
+        # checked as a /v1/metrics body (the historical behaviour).
+        try:
+            kind = json.loads(args.dir.read_text()).get("kind")
+        except (ValueError, AttributeError, OSError):
+            kind = None
+        validate = (
+            validate_eval_report
+            if kind == "eval-report"
+            else validate_service_metrics
+        )
+        return 1 if _report(args.dir, validate(args.dir)) else 0
     if not args.dir.is_dir():
         log.error("not_a_directory", dir=str(args.dir))
         return 1

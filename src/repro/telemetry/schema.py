@@ -211,6 +211,114 @@ SERVICE_METRICS_SCHEMA: Dict = {
 }
 
 
+#: one (metric, slice) cell of an A/B report.  Nullable fields
+#: (``geomean_ratio``, ``p_adjusted``, ``improved``) are required but
+#: deliberately untyped — the validator subset has no union types, and
+#: presence is the contract that matters.
+_EVAL_CELL_SCHEMA: Dict = {
+    "type": "object",
+    "required": [
+        "metric",
+        "slice",
+        "higher_is_better",
+        "improved",
+        "p_adjusted",
+        "n",
+        "mean_a",
+        "mean_b",
+        "mean_delta",
+        "ci_low",
+        "ci_high",
+        "p_permutation",
+        "p_sign",
+        "geomean_ratio",
+        "wins",
+        "losses",
+        "ties",
+    ],
+    "properties": {
+        "metric": {"type": "string"},
+        "slice": {"type": "string"},
+        "higher_is_better": {"type": "boolean"},
+        "n": {"type": "integer", "minimum": 1},
+        "mean_a": {"type": "number"},
+        "mean_b": {"type": "number"},
+        "mean_delta": {"type": "number"},
+        "ci_low": {"type": "number"},
+        "ci_high": {"type": "number"},
+        "p_permutation": {"type": "number", "minimum": 0},
+        "p_sign": {"type": "number", "minimum": 0},
+        "wins": {"type": "integer", "minimum": 0},
+        "losses": {"type": "integer", "minimum": 0},
+        "ties": {"type": "integer", "minimum": 0},
+    },
+}
+
+#: the ``eval-report.json`` document written by ``repro.eval`` (and
+#: served by ``GET /v1/sweeps/{id}/report``).  Pinned here so the
+#: report format cannot drift without failing CI's schema gate, same
+#: as every other exporter contract.
+EVAL_REPORT_SCHEMA: Dict = {
+    "type": "object",
+    "required": [
+        "schema",
+        "kind",
+        "baseline",
+        "confidence",
+        "resamples",
+        "seed",
+        "num_runs",
+        "fingerprint",
+        "metrics",
+        "comparisons",
+    ],
+    "properties": {
+        "schema": {"type": "integer", "minimum": 1},
+        "kind": {"type": "string", "enum": ["eval-report"]},
+        "baseline": {"type": "string"},
+        "confidence": {"type": "number", "minimum": 0},
+        "resamples": {"type": "integer", "minimum": 1},
+        "seed": {"type": "integer", "minimum": 0},
+        "num_runs": {"type": "integer", "minimum": 1},
+        "fingerprint": {"type": "string"},
+        "metrics": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "unit", "higher_is_better", "description"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "unit": {"type": "string"},
+                    "higher_is_better": {"type": "boolean"},
+                    "description": {"type": "string"},
+                },
+            },
+        },
+        "comparisons": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": [
+                    "policy",
+                    "num_pairs",
+                    "unmatched",
+                    "ambiguous",
+                    "cells",
+                    "overlay",
+                ],
+                "properties": {
+                    "policy": {"type": "string"},
+                    "num_pairs": {"type": "integer", "minimum": 1},
+                    "unmatched": {"type": "array", "items": {"type": "string"}},
+                    "ambiguous": {"type": "integer", "minimum": 0},
+                    "cells": {"type": "array", "items": _EVAL_CELL_SCHEMA},
+                },
+            },
+        },
+    },
+}
+
+
 def check(value, schema: Dict, path: str = "$") -> List[str]:
     """Validate ``value`` against a schema; returns error strings."""
     errors: List[str] = []
@@ -323,3 +431,12 @@ def validate_service_metrics(path: Union[str, Path]) -> List[str]:
     except ValueError as exc:
         return [f"invalid JSON: {exc}"]
     return check(data, SERVICE_METRICS_SCHEMA)
+
+
+def validate_eval_report(path: Union[str, Path]) -> List[str]:
+    """Validate an ``eval-report.json`` A/B evaluation document."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except ValueError as exc:
+        return [f"invalid JSON: {exc}"]
+    return check(data, EVAL_REPORT_SCHEMA)

@@ -33,7 +33,13 @@ from .synthetic import (
     strided_trace,
     random_trace,
 )
-from .categories import CATEGORY_CCF, CATEGORY_LLCF, CATEGORY_LLCT, category_of
+from .categories import (
+    CATEGORY_CCF,
+    CATEGORY_LLCF,
+    CATEGORY_LLCT,
+    category_of,
+    mix_category,
+)
 from .spec import (
     SPEC_APPS,
     AppProfile,
@@ -68,6 +74,7 @@ __all__ = [
     "CATEGORY_LLCF",
     "CATEGORY_LLCT",
     "category_of",
+    "mix_category",
     "SPEC_APPS",
     "AppProfile",
     "app_names",

@@ -21,6 +21,19 @@ def category_of(app_name: str) -> str:
     return app_profile(app_name).category
 
 
+def mix_category(apps) -> str:
+    """Canonical category tag of a multi-programmed mix.
+
+    The per-app Section IV.B categories, sorted and joined with ``+``
+    (``("h26", "gob")`` -> ``"CCF+LLCT"``), so two mixes with the same
+    category *multiset* share one tag regardless of core order.  This
+    is the slicing coordinate :mod:`repro.eval` groups A/B pairs by,
+    and what the orchestrator journals next to each job so evaluation
+    needs no back-parsing of workload names.
+    """
+    return "+".join(sorted(category_of(app) for app in apps))
+
+
 def validate_category(category: str) -> str:
     if category not in CATEGORIES:
         raise ConfigurationError(

@@ -1,0 +1,128 @@
+"""Pairing: discovery from caches/manifests and workload alignment."""
+
+import pytest
+
+from repro.errors import EvalError
+from repro.eval import (
+    available_policies,
+    discover_records,
+    pair_records,
+    parse_policy,
+    policy_name,
+    record_from_summary,
+    records_from_sweep_manifest,
+)
+from repro.orchestrate import ResultCache, SweepManifest
+
+from .conftest import MIXES, POLICIES, fake_key, make_summary
+
+
+class TestRecords:
+    def test_discovery_finds_the_whole_grid(self, populate_cache):
+        records = discover_records(populate_cache())
+        assert len(records) == len(MIXES) * len(POLICIES)
+        assert available_policies(records) == [
+            "inclusive/eci",
+            "inclusive/none",
+            "inclusive/qbs",
+        ]
+
+    def test_discovery_is_order_deterministic(self, populate_cache):
+        directory = populate_cache()
+        keys = [record.key for record in discover_records(directory)]
+        assert keys == sorted(keys)
+
+    def test_category_falls_back_to_profiles(self):
+        record = record_from_summary(
+            "0" * 40, make_summary("MIX_A", ("ast", "bzi"))
+        )
+        assert "+" in record.category  # a real two-app tag
+
+    def test_unknown_apps_get_the_explicit_bucket(self):
+        record = record_from_summary(
+            "0" * 40, make_summary("MIX_X", ("not_a_bench", "also_not"))
+        )
+        assert record.category == "uncategorised"
+
+    def test_manifest_category_wins_over_derivation(self, populate_cache):
+        directory = populate_cache()
+        manifest = SweepManifest(directory / "sweep-manifest.jsonl")
+        key = fake_key("MIX_A", "inclusive", "none")
+        manifest.record(key, "done", category="CUSTOM+TAG")
+        by_key = {r.key: r for r in discover_records(directory)}
+        assert by_key[key].category == "CUSTOM+TAG"
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(EvalError, match="no such cache"):
+            discover_records(tmp_path / "nope")
+
+    def test_manifest_loader_takes_done_jobs_only(self, populate_cache):
+        directory = populate_cache()
+        manifest = SweepManifest(directory / "m.jsonl")
+        done = fake_key("MIX_A", "inclusive", "none")
+        failed = fake_key("MIX_A", "inclusive", "qbs")
+        manifest.record(done, "done")
+        manifest.record(failed, "failed", error="boom")
+        records = records_from_sweep_manifest(manifest, directory)
+        assert [record.key for record in records] == [done]
+
+    def test_corrupt_cache_entry_is_skipped(self, populate_cache):
+        directory = populate_cache()
+        victim = fake_key("MIX_B", "inclusive", "eci")
+        (directory / f"{victim}.json").write_text("{not json")
+        keys = {record.key for record in discover_records(directory)}
+        assert victim not in keys
+        assert len(keys) == len(MIXES) * len(POLICIES) - 1
+
+
+class TestPolicyNames:
+    def test_round_trip(self):
+        assert parse_policy(policy_name("inclusive", "qbs")) == (
+            "inclusive",
+            "qbs",
+        )
+
+    @pytest.mark.parametrize("bad", ["inclusive", "a/b/c", "/qbs", "none/"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(EvalError, match="mode/tla"):
+            parse_policy(bad)
+
+
+class TestPairing:
+    def test_full_grid_pairs_every_workload(self, populate_cache):
+        records = discover_records(populate_cache())
+        pairing = pair_records(records, "inclusive/none", "inclusive/qbs")
+        assert len(pairing.pairs) == len(MIXES)
+        assert pairing.unmatched == []
+        assert pairing.ambiguous == 0
+        for pair in pairing.pairs:
+            assert pair.a.policy == "inclusive/none"
+            assert pair.b.policy == "inclusive/qbs"
+            assert pair.a.workload == pair.b.workload
+
+    def test_missing_side_is_reported_not_paired(self, populate_cache):
+        directory = populate_cache()
+        # Remove MIX_B's qbs run: that workload now has only a baseline.
+        (directory / f"{fake_key('MIX_B', 'inclusive', 'qbs')}.json").unlink()
+        pairing = pair_records(
+            discover_records(directory), "inclusive/none", "inclusive/qbs"
+        )
+        assert len(pairing.pairs) == len(MIXES) - 1
+        assert len(pairing.unmatched) == 1
+        assert "MIX_B" in pairing.unmatched[0]
+
+    def test_duplicate_cell_resolves_to_lowest_key(self, populate_cache):
+        directory = populate_cache()
+        cache = ResultCache(str(directory))
+        # A second cached run of the same (workload, policy) cell under
+        # a different fidelity config -> different job key.
+        twin_key = "0" * 40  # sorts before every sha1 of the fixture set
+        cache.store(twin_key, make_summary("MIX_A", ("ast", "bzi"), seed=9))
+        pairing = pair_records(
+            discover_records(directory), "inclusive/none", "inclusive/qbs"
+        )
+        assert pairing.ambiguous == 1
+        chosen = {
+            pair.a.key for pair in pairing.pairs if pair.mix == "MIX_A"
+        }
+        assert chosen == {twin_key}

@@ -119,7 +119,10 @@ class TestHistogram:
         assert quantile_from_buckets([1, 2], [0, 0, 10], 0.5) == 2.0
 
     def test_quantile_empty_and_bad_q(self):
-        assert quantile_from_buckets([1], [0, 0], 0.5) == 0.0
+        # An empty histogram has no quantiles: None, not a fake 0.0.
+        assert quantile_from_buckets([1], [0, 0], 0.5) is None
+        # No buckets at all must not crash either.
+        assert quantile_from_buckets([], [5], 0.5) is None
         h = MetricsRegistry().histogram("repro_h_seconds", "h")
         assert h.quantile(0.5) is None
         with pytest.raises(ConfigurationError):

@@ -152,6 +152,26 @@ class TestRendering:
         assert text.startswith("# repro.service ops report")
         assert "| acme | 3 " in text
 
+    def test_empty_histogram_quantiles_render_as_em_dash(self):
+        # The canned snapshot has no per-tenant exec-latency histogram,
+        # so those quantiles are None — shown as an em dash, never as a
+        # fabricated 0.0ms.
+        body = snapshot()
+        body["metrics"].pop("repro_job_exec_seconds", None)
+        view = derive_view(body)
+        row = view["tenants"][0]
+        assert row["exec_p50"] is None and row["exec_p99"] is None
+        dash_row = [
+            line for line in render_dashboard(view).splitlines()
+            if line.startswith("acme")
+        ][0]
+        assert dash_row.count("—") == 2
+        report_row = [
+            line for line in render_report(view).splitlines()
+            if line.startswith("| acme")
+        ][0]
+        assert report_row.endswith("| — | — |")
+
     def test_empty_tenant_table_renders(self):
         body = snapshot()
         body["tenants"] = {}

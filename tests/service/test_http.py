@@ -15,7 +15,11 @@ import pytest
 
 from repro.orchestrate import RunSummary, SimJob
 from repro.service import JobBroker, ServiceConfig, create_server
-from repro.telemetry.schema import SERVICE_METRICS_SCHEMA, check
+from repro.telemetry.schema import (
+    EVAL_REPORT_SCHEMA,
+    SERVICE_METRICS_SCHEMA,
+    check,
+)
 
 from .test_broker import fake_summary, make_job
 
@@ -293,3 +297,62 @@ class TestMetricsEndpoint:
         assert check(metrics, SERVICE_METRICS_SCHEMA) == []
         assert metrics["requests"]["POST /v1/sweeps 201"] == 1
         assert metrics["queue"]["limit"] == service.config.queue_limit
+
+
+def policy_sensitive_summary(job: SimJob) -> RunSummary:
+    """Like ``fake_summary`` but with a TLA-dependent IPC, so A/B
+    reports computed over these runs have non-zero deltas."""
+    summary = fake_summary(job)
+    summary.ipcs = [
+        1.0 + (0.25 if job.tla != "none" else 0.0)
+    ] * len(job.apps)
+    return summary
+
+
+class TestReportEndpoint:
+    def test_report_over_a_two_policy_sweep(self, tmp_path):
+        live = LiveService(tmp_path, execute=policy_sensitive_summary).start()
+        try:
+            spec = job_spec(make_job(), make_job(tla="qbs"))
+            _, body, _ = live.request("POST", "/v1/sweeps", spec)
+            sweep_id = body["sweep"]["id"]
+            live.wait_done(sweep_id)
+            status, report, _ = live.request(
+                "GET", f"/v1/sweeps/{sweep_id}/report?resamples=200"
+            )
+            assert status == 200
+            assert check(report, EVAL_REPORT_SCHEMA) == []
+            [comparison] = report["comparisons"]
+            assert comparison["policy"] == "inclusive/qbs"
+            assert comparison["num_pairs"] == 1
+            all_throughput = [
+                cell
+                for cell in comparison["cells"]
+                if cell["metric"] == "throughput" and cell["slice"] == "All"
+            ]
+            assert all_throughput[0]["mean_delta"] == pytest.approx(0.5)
+            # Markdown flavour of the same document.
+            status, rendered, headers = live.request(
+                "GET", f"/v1/sweeps/{sweep_id}/report?format=md&resamples=200"
+            )
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/markdown")
+            assert b"Policy A/B evaluation" in rendered
+        finally:
+            live.stop()
+
+    def test_single_policy_sweep_is_409(self, service):
+        _, body, _ = service.request(
+            "POST", "/v1/sweeps", job_spec(make_job())
+        )
+        sweep_id = body["sweep"]["id"]
+        service.wait_done(sweep_id)
+        status, body, _ = service.request(
+            "GET", f"/v1/sweeps/{sweep_id}/report"
+        )
+        assert status == 409
+        assert "baseline" in body["error"] or "policy" in body["error"]
+
+    def test_unknown_sweep_is_404(self, service):
+        status, _, _ = service.request("GET", "/v1/sweeps/nope/report")
+        assert status == 404
