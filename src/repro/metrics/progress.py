@@ -86,13 +86,18 @@ class ProgressReporter:
             )
 
     def update(
-        self, completed: int, failed: int, running: int, workers: int
+        self,
+        completed: int,
+        failed: int,
+        running: int,
+        workers: int,
+        backend: Optional[str] = None,
     ) -> None:
         now = self._clock()
         if now - self._last_emit < self.min_interval:
             return
         self._last_emit = now
-        self._emit(self.render(completed, failed, running, workers))
+        self._emit(self.render(completed, failed, running, workers, backend))
 
     def note_result(self, summary) -> None:
         """Fold one finished job's telemetry digest into the live rates.
@@ -121,7 +126,12 @@ class ProgressReporter:
 
     # -- rendering ---------------------------------------------------------------
     def render(
-        self, completed: int, failed: int, running: int, workers: int
+        self,
+        completed: int,
+        failed: int,
+        running: int,
+        workers: int,
+        backend: Optional[str] = None,
     ) -> str:
         """Build the status line; pure aside from reading elapsed time."""
         done = completed + failed
@@ -132,7 +142,8 @@ class ProgressReporter:
             parts.append(f"running={running}")
         if workers > 1:
             utilisation = running / workers if workers else 0.0
-            parts.append(f"workers={workers} util={utilisation:.0%}")
+            tag = f"[{backend}]" if backend else ""
+            parts.append(f"workers={workers}{tag} util={utilisation:.0%}")
         if self._host_instructions > 0:
             elapsed = self._clock() - self._started
             if elapsed > 0:

@@ -16,8 +16,15 @@ as fast as the machine allows:
 * :mod:`~repro.orchestrate.manifest` — :class:`SweepManifest`, an
   append-only JSONL journal of per-job outcomes that survives kills
   mid-write.
+* :mod:`~repro.orchestrate.executor` — the :class:`Executor`
+  protocol (submit/poll/cancel/liveness) and the in-process backends:
+  :class:`SerialExecutor` and :class:`LocalPoolExecutor`.
 * :mod:`~repro.orchestrate.pool` — :class:`WorkerPool`, one process
-  per worker with per-job timeout, kill and respawn.
+  per worker with per-job timeout, kill, respawn and
+  ``max_jobs_per_worker`` recycling.
+* :mod:`~repro.orchestrate.bus` — :class:`BusExecutor` and
+  :class:`BusWorker`, a filesystem message bus for distributed sweeps
+  with lease/heartbeat crash recovery.
 * :mod:`~repro.orchestrate.scheduler` — :class:`Orchestrator`, the
   policy layer: dedup, bounded retry with exponential backoff,
   graceful degradation to serial execution, failure reporting.
@@ -28,12 +35,22 @@ hands them here.  ``REPRO_JOBS`` / ``--jobs`` select the worker count
 (1 = serial, no subprocesses at all).
 """
 
+from .bus import BusExecutor, BusWorker, FileBus
 from .cache import ResultCache
+from .executor import (
+    EXECUTOR_KINDS,
+    Executor,
+    LocalPoolExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
 from .job import CACHE_SCHEMA, RunSummary, SimJob, execute_job, job_key
 from .manifest import (
     STATUS_CANCELLED,
+    STATUS_CLAIMED,
     STATUS_DONE,
     STATUS_FAILED,
+    STATUS_RECLAIMED,
     ManifestRecord,
     SweepManifest,
 )
@@ -41,18 +58,28 @@ from .pool import WorkerPool
 from .scheduler import Orchestrator, compact_host
 
 __all__ = [
+    "BusExecutor",
+    "BusWorker",
     "CACHE_SCHEMA",
+    "EXECUTOR_KINDS",
+    "Executor",
+    "FileBus",
+    "LocalPoolExecutor",
     "ManifestRecord",
     "Orchestrator",
     "ResultCache",
     "RunSummary",
     "STATUS_CANCELLED",
+    "STATUS_CLAIMED",
     "STATUS_DONE",
     "STATUS_FAILED",
+    "STATUS_RECLAIMED",
+    "SerialExecutor",
     "SimJob",
     "SweepManifest",
     "WorkerPool",
     "compact_host",
     "execute_job",
     "job_key",
+    "resolve_executor",
 ]

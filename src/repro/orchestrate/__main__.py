@@ -1,0 +1,106 @@
+"""CLI for distributed sweep infrastructure.
+
+``python -m repro.orchestrate worker --bus <dir>`` runs one bus worker
+against a spool directory — start as many as you like, on as many
+hosts as share the directory; each claims jobs under a lease and
+publishes results (see :mod:`repro.orchestrate.bus`).
+
+``python -m repro.orchestrate check-manifest <file>`` schema-validates
+a sweep manifest or bus journal, the crash-safety artefacts CI guards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .bus import DEFAULT_HEARTBEAT, BusWorker
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrate",
+        description="distributed sweep workers and journal tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    worker = sub.add_parser(
+        "worker", help="run one bus worker against a spool directory"
+    )
+    worker.add_argument(
+        "--bus", required=True, help="bus spool directory (shared filesystem)"
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit 0 after executing this many jobs (worker recycling)",
+    )
+    worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        help="exit 0 after this many seconds with nothing to claim",
+    )
+    worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=DEFAULT_HEARTBEAT,
+        help="lease/registration heartbeat period in seconds",
+    )
+
+    check = sub.add_parser(
+        "check-manifest",
+        help="schema-validate a sweep manifest or bus journal (JSONL)",
+    )
+    check.add_argument("path", help="manifest/journal file to validate")
+    return parser
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    worker = BusWorker(
+        args.bus,
+        worker_id=args.worker_id,
+        max_jobs=args.max_jobs,
+        idle_exit=args.idle_exit,
+        heartbeat=args.heartbeat,
+    )
+    try:
+        return worker.run()
+    except KeyboardInterrupt:
+        return 0
+
+
+def _run_check(args: argparse.Namespace) -> int:
+    from ..telemetry.schema import validate_sweep_manifest
+
+    path = Path(args.path)
+    if not path.is_file():
+        print(f"check-manifest: no such file: {path}", file=sys.stderr)
+        return 2
+    errors = validate_sweep_manifest(path)
+    for error in errors:
+        print(f"{path}: {error}", file=sys.stderr)
+    if errors:
+        print(f"{path}: INVALID ({len(errors)} error(s))", file=sys.stderr)
+        return 1
+    print(f"{path}: ok")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "worker":
+        return _run_worker(args)
+    return _run_check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

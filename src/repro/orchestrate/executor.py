@@ -1,0 +1,316 @@
+"""The executor protocol: one scheduler, pluggable execution backends.
+
+The :class:`~repro.orchestrate.Orchestrator` owns *policy* — dedup,
+retry with backoff, cancellation, failure reporting, manifest and
+cache writes — and delegates *mechanism* to an :class:`Executor`:
+something that accepts ``submit(key, job)``, reports terminal
+``(kind, key, payload)`` events from ``poll()``, and answers liveness
+questions (how many workers, how many busy, how many died).  Three
+backends conform:
+
+* :class:`SerialExecutor` — executes jobs in-process on the calling
+  thread; the no-subprocess fallback and the ``jobs=1`` default.
+* :class:`LocalPoolExecutor` — the duplex-pipe
+  :class:`~repro.orchestrate.pool.WorkerPool`, one process per worker
+  with per-job timeout kill and respawn.
+* :class:`~repro.orchestrate.bus.BusExecutor` — a filesystem message
+  bus where independent ``python -m repro.orchestrate worker``
+  processes (this host or any host sharing the directory) claim jobs
+  under lease/heartbeat records.
+
+Because every backend speaks the same protocol, the scheduler loop is
+written once, and the golden guarantee — cache entries byte-identical
+across backends — holds by construction: workers only compute
+summaries; cache writes always go through the same
+:meth:`ResultCache.store` code path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import OrchestrationError
+from .pool import EVENT_ERROR, EVENT_OK, WorkerPool
+
+#: one terminal event: (kind, job key, RunSummary or error message).
+#: kinds are the pool's: ``ok``, ``error``, ``crash``, ``timeout``.
+ExecutorEvent = Tuple[str, str, Any]
+
+
+class Executor:
+    """Protocol base for execution backends.
+
+    Lifecycle: the scheduler calls :meth:`submit` while
+    :attr:`has_idle` is true, drains events with :meth:`poll`, and
+    :meth:`close`\\ s the backend when the sweep ends.  ``poll`` must
+    return every submitted job exactly once as a terminal event —
+    retry is the scheduler's job, so a failed/crashed/timed-out job is
+    reported, not silently re-run.
+    """
+
+    #: short backend tag for progress lines, metrics labels and logs.
+    name: str = "executor"
+    #: True when :meth:`poll` executes jobs on the calling thread —
+    #: the scheduler then charges poll time to ``execute_job`` rather
+    #: than ``pool_wait`` in its phase report.
+    inline: bool = False
+
+    # -- work movement ---------------------------------------------------------
+    def submit(
+        self,
+        key: str,
+        job: Any,
+        trace_id: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        """Hand a job to the backend.  ``trace_id``/``label`` are
+        advisory metadata: in-process backends ignore them, the bus
+        threads them through its envelopes so remote journal records
+        join the request trace."""
+        raise NotImplementedError
+
+    def poll(self, wait: float = 0.05) -> List[ExecutorEvent]:
+        raise NotImplementedError
+
+    def cancel(self, key: str) -> bool:
+        """Withdraw a submitted-but-unstarted job; False if too late."""
+        return False
+
+    def close(self) -> None:
+        pass
+
+    # -- liveness --------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Workers available to this backend (1 for in-process)."""
+        return 1
+
+    @property
+    def busy_count(self) -> int:
+        return 0
+
+    @property
+    def idle_count(self) -> int:
+        return max(0, self.size - self.busy_count)
+
+    @property
+    def has_idle(self) -> bool:
+        return self.idle_count > 0
+
+    @property
+    def respawns(self) -> int:
+        """Unplanned worker deaths (health signal; see MAX_RESPAWNS)."""
+        return 0
+
+    @property
+    def recycles(self) -> int:
+        """Planned worker respawns (``max_jobs_per_worker`` rotation)."""
+        return 0
+
+    @property
+    def lease_reclaims(self) -> int:
+        """Jobs reclaimed from expired leases (bus backends only)."""
+        return 0
+
+    def liveness(self) -> Dict[str, Any]:
+        """One snapshot of backend health for metrics endpoints."""
+        return {
+            "backend": self.name,
+            "workers": self.size,
+            "busy": self.busy_count,
+            "respawns": self.respawns,
+            "recycles": self.recycles,
+            "lease_reclaims": self.lease_reclaims,
+        }
+
+
+class SerialExecutor(Executor):
+    """In-process execution on the calling thread.
+
+    Absorbs the orchestrator's historical serial fallback: no
+    subprocesses, no per-job timeout (a watchdog needs a second
+    process, and serial mode exists precisely for environments where
+    spawning one is not an option), and ``BaseException``\\ s that are
+    not plain ``Exception`` (``KeyboardInterrupt``) propagate so a
+    killed sweep aborts instead of recording a failure.
+    """
+
+    name = "serial"
+    inline = True
+
+    def __init__(self, execute: Callable[[Any], Any]) -> None:
+        self._execute = execute
+        self._pending: Optional[Tuple[str, Any]] = None
+
+    def submit(
+        self,
+        key: str,
+        job: Any,
+        trace_id: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        if self._pending is not None:
+            raise OrchestrationError("submit() called with no idle worker")
+        self._pending = (key, job)
+
+    def poll(self, wait: float = 0.05) -> List[ExecutorEvent]:
+        if self._pending is None:
+            return []
+        key, job = self._pending
+        self._pending = None
+        try:
+            payload = self._execute(job)
+        except Exception as exc:  # noqa: BLE001 — reported for retry
+            return [(EVENT_ERROR, key, f"{type(exc).__name__}: {exc}")]
+        return [(EVENT_OK, key, payload)]
+
+    def cancel(self, key: str) -> bool:
+        if self._pending is not None and self._pending[0] == key:
+            self._pending = None
+            return True
+        return False
+
+    @property
+    def busy_count(self) -> int:
+        return 1 if self._pending is not None else 0
+
+
+class LocalPoolExecutor(Executor):
+    """The single-host worker pool behind the executor protocol.
+
+    A thin adapter: :class:`~repro.orchestrate.pool.WorkerPool`
+    already speaks submit/poll/liveness; this class only maps its
+    construction knobs and counters onto the protocol.
+    """
+
+    name = "pool"
+
+    def __init__(
+        self,
+        workers: int,
+        execute: Callable[[Any], Any],
+        timeout: Optional[float] = None,
+        context=None,
+        max_jobs_per_worker: Optional[int] = None,
+        pool_factory: Callable[..., WorkerPool] = WorkerPool,
+    ) -> None:
+        self._pool = pool_factory(
+            workers,
+            execute,
+            timeout=timeout,
+            context=context,
+            max_jobs_per_worker=max_jobs_per_worker,
+        )
+
+    @property
+    def pool(self) -> WorkerPool:
+        return self._pool
+
+    def submit(
+        self,
+        key: str,
+        job: Any,
+        trace_id: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        self._pool.submit(key, job)
+
+    def poll(self, wait: float = 0.05) -> List[ExecutorEvent]:
+        return self._pool.poll(wait)
+
+    def close(self) -> None:
+        self._pool.close()
+
+    @property
+    def size(self) -> int:
+        return self._pool.size
+
+    @property
+    def busy_count(self) -> int:
+        return self._pool.busy_count
+
+    @property
+    def respawns(self) -> int:
+        return self._pool.respawns
+
+    @property
+    def recycles(self) -> int:
+        return self._pool.recycles
+
+
+#: accepted ``--executor`` / ``REPRO_EXECUTOR`` spellings.
+EXECUTOR_KINDS = ("serial", "pool", "bus")
+
+
+def resolve_executor(
+    spec,
+    jobs: int,
+    execute: Callable[[Any], Any],
+    timeout: Optional[float] = None,
+    context=None,
+    bus_dir: Optional[str] = None,
+    bus_spawn: Optional[int] = None,
+    max_jobs_per_worker: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    lease_timeout: Optional[float] = None,
+    pool_factory: Callable[..., WorkerPool] = WorkerPool,
+) -> Executor:
+    """Build an executor from a spec: an instance, a kind name or None.
+
+    ``None`` keeps the historical behaviour — serial for ``jobs <= 1``,
+    the local pool otherwise.  A string names a backend explicitly;
+    ``"bus"`` needs ``bus_dir`` and spawns ``bus_spawn`` local worker
+    processes (default ``jobs``; 0 relies on externally started
+    workers).  An :class:`Executor` instance is returned as-is, so
+    tests and services can inject pre-built backends.
+    """
+    if isinstance(spec, Executor):
+        return spec
+    if spec is None:
+        spec = "serial" if jobs <= 1 else "pool"
+    if spec == "serial":
+        return SerialExecutor(execute)
+    if spec == "pool":
+        return LocalPoolExecutor(
+            max(1, jobs),
+            execute,
+            timeout=timeout,
+            context=context,
+            max_jobs_per_worker=max_jobs_per_worker,
+            pool_factory=pool_factory,
+        )
+    if spec == "bus":
+        if not bus_dir:
+            raise OrchestrationError(
+                "the bus executor needs a bus directory "
+                "(--bus-dir / REPRO_BUS_DIR)"
+            )
+        from .bus import BusExecutor
+
+        kwargs: Dict[str, Any] = {}
+        if lease_timeout is not None:
+            kwargs["lease_timeout"] = lease_timeout
+        return BusExecutor(
+            bus_dir,
+            execute=execute,
+            spawn_workers=jobs if bus_spawn is None else bus_spawn,
+            timeout=timeout,
+            max_jobs_per_worker=max_jobs_per_worker,
+            cache_dir=cache_dir,
+            **kwargs,
+        )
+    raise OrchestrationError(
+        f"unknown executor {spec!r}; expected one of {EXECUTOR_KINDS}"
+    )
+
+
+__all__ = [
+    "EVENT_ERROR",
+    "EVENT_OK",
+    "EXECUTOR_KINDS",
+    "Executor",
+    "ExecutorEvent",
+    "LocalPoolExecutor",
+    "SerialExecutor",
+    "resolve_executor",
+]

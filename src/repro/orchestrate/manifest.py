@@ -13,6 +13,7 @@ with what error, after how many attempts.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Set, Union
@@ -22,6 +23,26 @@ STATUS_DONE = "done"
 STATUS_FAILED = "failed"
 #: drained from the queue before execution (never ran, nothing cached).
 STATUS_CANCELLED = "cancelled"
+#: informational (non-terminal) states journalled by the bus backend:
+#: a worker took a lease on the job / the parent reclaimed an expired
+#: lease.  ``done_keys()``/``failed()`` ignore them by construction —
+#: a claimed job that never reports back is simply retried on resume.
+STATUS_CLAIMED = "claimed"
+STATUS_RECLAIMED = "reclaimed"
+
+#: opt-in environment switch: fsync every appended record so a host
+#: that loses power (not just the process) cannot tear the journal.
+MANIFEST_FSYNC_ENV = "REPRO_MANIFEST_FSYNC"
+
+
+def _fsync_from_env() -> bool:
+    # repro: allow[DX3] — durability knob; never part of job identity
+    return os.environ.get(MANIFEST_FSYNC_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 @dataclass(frozen=True)
@@ -45,13 +66,19 @@ class ManifestRecord:
     #: request trace this outcome belongs to (repro.obs); None for
     #: journals written before tracing existed or untraced runs.
     trace_id: Optional[str] = None
+    #: bus worker id that claimed/executed the job; None for in-process
+    #: backends and journals written before distributed sweeps existed.
+    worker: Optional[str] = None
 
 
 class SweepManifest:
     """Append-only JSONL journal of per-job outcomes for one cache dir."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], fsync: Optional[bool] = None) -> None:
         self.path = Path(path)
+        #: None defers to REPRO_MANIFEST_FSYNC at each append, so a
+        #: long-lived service honours operator changes without restart.
+        self.fsync = fsync
 
     def record(
         self,
@@ -63,8 +90,15 @@ class SweepManifest:
         category: Optional[str] = None,
         host: Optional[Dict] = None,
         trace_id: Optional[str] = None,
+        worker: Optional[str] = None,
+        fsync: Optional[bool] = None,
     ) -> None:
-        """Append one outcome line; flushed so a later crash keeps it."""
+        """Append one outcome line; flushed so a later crash keeps it.
+
+        ``fsync=True`` forces the record through to disk (lease records
+        must survive host power loss, not just process death); the
+        default inherits the manifest-level / environment setting.
+        """
         entry = {"key": key, "status": status, "attempts": attempts}
         if error is not None:
             entry["error"] = error
@@ -76,6 +110,10 @@ class SweepManifest:
             entry["host"] = host
         if trace_id is not None:
             entry["trace_id"] = trace_id
+        if worker is not None:
+            entry["worker"] = worker
+        if fsync is None:
+            fsync = self.fsync if self.fsync is not None else _fsync_from_env()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         # A sweep killed mid-append leaves a line without its newline;
         # terminate it first so the partial line poisons nothing else.
@@ -84,11 +122,21 @@ class SweepManifest:
             with self.path.open("rb") as tail:
                 tail.seek(-1, 2)
                 needs_newline = tail.read(1) != b"\n"
-        with self.path.open("a", encoding="utf-8") as handle:
-            if needs_newline:
-                handle.write("\n")
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
-            handle.flush()
+        data = json.dumps(entry, sort_keys=True) + "\n"
+        if needs_newline:
+            data = "\n" + data
+        # One O_APPEND write: POSIX appends are atomic for writes this
+        # small, so concurrent bus workers journalling into the same
+        # file cannot interleave bytes mid-record.
+        fd = os.open(
+            str(self.path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, data.encode("utf-8"))
+            if fsync:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def statuses(self) -> Dict[str, ManifestRecord]:
         """Latest record per job key; tolerates a truncated final line."""
@@ -114,6 +162,7 @@ class SweepManifest:
                 category=entry.get("category"),
                 host=entry.get("host"),
                 trace_id=entry.get("trace_id"),
+                worker=entry.get("worker"),
             )
         return records
 

@@ -3,15 +3,19 @@
 :class:`Orchestrator.run` takes a flat list of jobs (usually
 :class:`~repro.orchestrate.job.SimJob`), collapses duplicates by job
 key, serves everything already in the result cache, and executes only
-the remainder — on a :class:`~repro.orchestrate.pool.WorkerPool` when
-``jobs > 1``, serially otherwise.  Failures are retried with
-exponential backoff up to a bounded number of attempts; jobs that keep
-failing are journalled to the :class:`~repro.orchestrate.manifest.
-SweepManifest` and reported in one :class:`~repro.errors.
-OrchestrationError` at the end (completed work stays cached, so a
-re-run only re-executes the failures).  If the pool cannot be built or
-keeps dying, the sweep degrades to serial execution instead of
-aborting — slower, never wrong.
+the remainder on a pluggable :class:`~repro.orchestrate.executor.
+Executor` backend — in-process (``serial``), a local process pool
+(``pool``, the default for ``jobs > 1``), or a shared-directory
+message bus with workers on any host (``bus``).  The scheduling loop
+is backend-neutral: dispatch while the backend has capacity, drain
+terminal events, retry failures with exponential backoff up to a
+bounded number of attempts.  Jobs that keep failing are journalled to
+the :class:`~repro.orchestrate.manifest.SweepManifest` and reported in
+one :class:`~repro.errors.OrchestrationError` at the end (completed
+work stays cached, so a re-run only re-executes the failures).  If a
+multi-process backend cannot be built or keeps losing workers, the
+sweep degrades to serial execution instead of aborting — slower,
+never wrong.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from ..perf.phase import (
 from ..telemetry import get_logger
 from .cache import ResultCache
 from .job import execute_job, job_key
+from .executor import Executor, SerialExecutor, resolve_executor
 from .manifest import (
     STATUS_CANCELLED,
     STATUS_DONE,
@@ -41,7 +46,7 @@ from .pool import EVENT_OK, WorkerPool
 log = get_logger("repro.orchestrate")
 
 #: give up respawning workers after this many deaths per sweep and
-#: fall back to serial execution — a pool that keeps dying (OOM
+#: fall back to serial execution — a backend that keeps dying (OOM
 #: killer, fork bombs elsewhere on the box) must not spin forever.
 MAX_RESPAWNS = 8
 
@@ -64,6 +69,11 @@ class Orchestrator:
         telemetry=None,
         phase_timer=None,
         on_job_done: Optional[Callable[[str, str, Any, int], None]] = None,
+        executor=None,
+        bus_dir: Optional[str] = None,
+        bus_spawn: Optional[int] = None,
+        lease_timeout: Optional[float] = None,
+        max_jobs_per_worker: Optional[int] = None,
     ) -> None:
         if retries < 0:
             raise OrchestrationError("retries must be >= 0")
@@ -79,6 +89,16 @@ class Orchestrator:
         self.backoff = backoff
         self.reporter = reporter
         self.context = context
+        #: execution backend: None (serial for jobs=1, pool otherwise),
+        #: a kind name (``"serial"``/``"pool"``/``"bus"``), or a
+        #: pre-built :class:`Executor` instance.
+        self.executor = executor
+        self.bus_dir = bus_dir
+        #: local bus workers to spawn (None = one per scheduler slot;
+        #: 0 = rely on externally launched workers).
+        self.bus_spawn = bus_spawn
+        self.lease_timeout = lease_timeout
+        self.max_jobs_per_worker = max_jobs_per_worker
         #: optional :class:`repro.telemetry.RunTelemetry` collecting
         #: per-job provenance (wall/CPU time, retries, cache hits) for
         #: the Chrome trace and the enriched run manifest.
@@ -116,6 +136,7 @@ class Orchestrator:
         self._completed = 0
         self._total = 0
         self._workers = 1
+        self._backend: Optional[str] = None
         #: key -> sweep-relative wall time the job first started.
         self._started: Dict[str, float] = {}
 
@@ -164,15 +185,21 @@ class Orchestrator:
             self.reporter.start(total=self._total, cached=self._completed)
         try:
             if pending:
-                if self._workers == 1:
-                    self._run_serial(pending, results)
+                try:
+                    executor = self._make_executor()
+                except OrchestrationError:
+                    # The backend could not be built (no subprocesses
+                    # on this box, unreachable bus); degrade to serial.
+                    executor = SerialExecutor(self.execute)
+                if isinstance(executor, SerialExecutor):
+                    self._run_loop(pending, results, executor)
                 else:
                     try:
-                        self._run_pool(pending, results)
+                        self._run_loop(pending, results, executor)
                     except OrchestrationError:
-                        # The pool could not be (re)built; degrade to a
-                        # serial pass over whatever is still undecided.
-                        self._workers = 1
+                        # The backend kept losing workers mid-sweep;
+                        # degrade to a serial pass over whatever is
+                        # still undecided.
                         remaining = [
                             (key, job)
                             for key, job in pending
@@ -180,7 +207,9 @@ class Orchestrator:
                             and key not in self.failures
                             and key not in self.cancelled
                         ]
-                        self._run_serial(remaining, results)
+                        self._run_loop(
+                            remaining, results, SerialExecutor(self.execute)
+                        )
         finally:
             if self.reporter is not None:
                 self.reporter.finish()
@@ -228,76 +257,69 @@ class Orchestrator:
         self._report()
         return True
 
-    # -- execution strategies --------------------------------------------------
-    def _run_serial(
-        self, pending: Sequence[Tuple[str, Any]], results: Dict[str, Any]
-    ) -> None:
-        """In-process execution with the same retry budget as the pool.
+    # -- execution -------------------------------------------------------------
+    def _make_executor(self) -> Executor:
+        """Build the configured backend for this run.
 
-        No per-job timeout here: a watchdog needs a second process, and
-        serial mode exists precisely for environments where spawning
-        one is not an option.
+        ``WorkerPool`` is resolved through this module's global so
+        tests can assert a serial run never constructs one.
         """
-        timer = self.phase_timer
-        for key, job in pending:
-            if self._cancel_if_requested(key, job):
-                continue
-            attempts = 0
-            self._started[key] = self._now()
-            while True:
-                attempts += 1
-                try:
-                    if timer is not None:
-                        timer.enter(PHASE_EXECUTE_JOB)
-                        try:
-                            result = self.execute(job)
-                        finally:
-                            timer.exit()
-                    else:
-                        result = self.execute(job)
-                except Exception as exc:  # noqa: BLE001 — retried/reported
-                    error = f"{type(exc).__name__}: {exc}"
-                    if attempts > self.retries:
-                        self._fail(key, job, error, attempts)
-                        break
-                    log.warning(
-                        "job_retry",
-                        key=key,
-                        label=self._label(job),
-                        attempt=attempts,
-                        error=error,
-                        trace_id=self._trace_id(key),
-                    )
-                    if self.backoff:
-                        time.sleep(self.backoff * (2 ** (attempts - 1)))
-                else:
-                    self._complete(key, job, result, attempts, results)
-                    break
+        return resolve_executor(
+            self.executor,
+            self._workers,
+            self.execute,
+            timeout=self.timeout,
+            context=self.context,
+            bus_dir=self.bus_dir,
+            bus_spawn=self.bus_spawn,
+            max_jobs_per_worker=self.max_jobs_per_worker,
+            cache_dir=getattr(self.cache, "directory", None),
+            lease_timeout=self.lease_timeout,
+            pool_factory=WorkerPool,
+        )
 
-    def _run_pool(
-        self, pending: Sequence[Tuple[str, Any]], results: Dict[str, Any]
+    def _run_loop(
+        self,
+        pending: Sequence[Tuple[str, Any]],
+        results: Dict[str, Any],
+        executor: Executor,
     ) -> None:
+        """The backend-neutral scheduling loop.
+
+        Dispatch from the queue while the backend has capacity
+        (honouring per-job backoff windows), drain terminal events,
+        and classify each: success completes, failure retries until
+        the attempt budget is spent.  Per-job timeouts are the
+        backend's job (in-process serial execution, documented, cannot
+        enforce them).  A ``BaseException`` escaping an inline backend
+        — ``KeyboardInterrupt`` killing a serial sweep — propagates:
+        the manifest already holds every completed job, so the re-run
+        resumes instead of re-executing.
+        """
         queue = deque(pending)
         jobs_by_key = dict(pending)
         attempts: Dict[str, int] = {key: 0 for key, _ in pending}
         ready_at: Dict[str, float] = {}
-        pool = WorkerPool(
-            self._workers, self.execute, timeout=self.timeout, context=self.context
-        )
-        self._workers = pool.size
+        self._workers = executor.size
+        self._backend = executor.name
         inflight: set = set()
         try:
             while queue or inflight:
                 now = time.perf_counter()
                 for _ in range(len(queue)):
-                    if not pool.has_idle:
+                    if not executor.has_idle:
                         break
                     key, job = queue.popleft()
                     if self._cancel_if_requested(key, job):
                         continue
                     if ready_at.get(key, 0.0) <= now:
                         self._started.setdefault(key, self._now())
-                        pool.submit(key, job)
+                        executor.submit(
+                            key,
+                            job,
+                            trace_id=self._trace_id(key),
+                            label=self._label(job),
+                        )
                         inflight.add(key)
                     else:
                         queue.append((key, job))
@@ -308,16 +330,20 @@ class Orchestrator:
                     continue
                 timer = self.phase_timer
                 if timer is not None:
-                    # Blocking on worker results is pool_wait, not
-                    # orchestration overhead: a saturated pool should
+                    # An inline backend executes during poll, so its
+                    # poll time *is* execute_job; blocking on remote
+                    # workers is pool_wait — a saturated backend should
                     # show high pool_wait, not a slow scheduler.
-                    timer.enter(PHASE_POOL_WAIT)
+                    phase = (
+                        PHASE_EXECUTE_JOB if executor.inline else PHASE_POOL_WAIT
+                    )
+                    timer.enter(phase)
                     try:
-                        events = pool.poll(0.05)
+                        events = executor.poll(0.05)
                     finally:
                         timer.exit()
                 else:
-                    events = pool.poll(0.05)
+                    events = executor.poll(0.05)
                 for kind, key, payload in events:
                     job = jobs_by_key[key]
                     inflight.discard(key)
@@ -339,14 +365,16 @@ class Orchestrator:
                             2 ** (attempts[key] - 1)
                         )
                         queue.append((key, job))
-                if pool.respawns > MAX_RESPAWNS:
+                if executor.respawns > MAX_RESPAWNS:
                     raise OrchestrationError(
-                        f"worker pool died {pool.respawns} times; "
-                        "degrading to serial execution"
+                        f"{executor.name} backend lost workers "
+                        f"{executor.respawns} times; degrading to serial "
+                        "execution"
                     )
+                self._workers = executor.size
                 self._report(running=len(inflight))
         finally:
-            pool.close()
+            executor.close()
 
     # -- bookkeeping -----------------------------------------------------------
     @staticmethod
@@ -466,6 +494,7 @@ class Orchestrator:
                 failed=len(self.failures),
                 running=running,
                 workers=self._workers,
+                backend=self._backend,
             )
 
 

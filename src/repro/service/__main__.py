@@ -40,6 +40,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes; 0 executes jobs inline (serial mode)",
     )
     parser.add_argument(
+        "--executor",
+        choices=["auto", "serial", "pool", "bus"],
+        help="execution backend (default auto: serial when --workers 0, "
+        "the local pool otherwise)",
+    )
+    parser.add_argument(
+        "--bus-dir",
+        help="bus spool directory shared with external workers "
+        "(required with --executor bus)",
+    )
+    parser.add_argument(
         "--queue-limit", type=int, help="global bound on queued jobs"
     )
     parser.add_argument(
@@ -90,6 +101,8 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
             "host",
             "port",
             "workers",
+            "executor",
+            "bus_dir",
             "queue_limit",
             "max_sweep_jobs",
             "tenant_jobs",

@@ -1,11 +1,11 @@
 """The job broker: one shared execution engine behind all HTTP clients.
 
 The broker is the service's only owner of compute: a single
-:class:`~repro.orchestrate.WorkerPool` (or, with ``workers=0`` / when
-no subprocess can be spawned, a single shared
-:class:`~repro.orchestrate.Orchestrator` executing inline on the
-broker thread) and a single process-wide
-:class:`~repro.orchestrate.ResultCache`.  Every sweep any client
+:class:`~repro.orchestrate.Executor` backend — serial (inline on the
+broker thread), the local worker pool, or the filesystem bus for
+distributed workers, selected by ``config.executor`` — and a single
+process-wide :class:`~repro.orchestrate.ResultCache`.  Every sweep
+any client
 submits is decomposed into :class:`~repro.orchestrate.SimJob` entries
 keyed by :func:`~repro.orchestrate.job_key`, and the key is the whole
 dedup contract, applied in three tiers:
@@ -26,8 +26,8 @@ occupy no queue slot and charge no quota.
 
 Threading model: HTTP handler threads only touch broker state under
 ``self._lock`` (submit / snapshot / cancel / event waits); the broker
-thread alone owns the pool and the orchestrator, so worker pipes never
-see concurrent access.
+thread alone owns the executor, so worker pipes and bus spools never
+see concurrent access from this process.
 """
 
 from __future__ import annotations
@@ -48,16 +48,20 @@ from ..metrics.throughput import aggregate_host
 from ..obs import MetricsRegistry, SpanBook, new_trace_id
 from ..obs.tracing import Span
 from ..orchestrate import (
-    Orchestrator,
     ResultCache,
     RunSummary,
     SimJob,
     SweepManifest,
-    WorkerPool,
     compact_host,
     execute_job,
     job_key,
 )
+from ..orchestrate.executor import (
+    Executor,
+    LocalPoolExecutor,
+    SerialExecutor,
+)
+from ..orchestrate.pool import EVENT_OK
 from ..orchestrate.scheduler import MAX_RESPAWNS
 from ..perf import (
     PHASE_EXECUTE_JOB,
@@ -89,8 +93,10 @@ SWEEP_CANCELLED = "cancelled"
 _TERMINAL = frozenset({JOB_DONE, JOB_FAILED, JOB_CANCELLED, JOB_CACHED})
 
 #: bump when the /v1/metrics payload shape changes.  v2 adds the
-#: ``limits`` section and the labeled ``metrics`` registry dump.
-METRICS_SCHEMA = 2
+#: ``limits`` section and the labeled ``metrics`` registry dump; v3
+#: adds the ``executor`` liveness section (backend, workers, respawns,
+#: recycles, lease reclaims).
+METRICS_SCHEMA = 3
 
 
 class _Entry:
@@ -189,7 +195,7 @@ class Sweep:
 
 
 class JobBroker:
-    """Shared orchestrator/pool/cache behind the HTTP API."""
+    """Shared executor/cache behind the HTTP API."""
 
     def __init__(
         self,
@@ -209,18 +215,6 @@ class JobBroker:
             self.manifest = SweepManifest(
                 self.cache.directory / "sweep-manifest.jsonl"
             )
-        #: the serial execution engine (also the pool-death fallback):
-        #: one Orchestrator shared by every inline job, so retry,
-        #: backoff, manifest and cache semantics are exactly the CLI's.
-        self.orchestrator = Orchestrator(
-            jobs=1,
-            execute=self.execute,
-            key_fn=self.key_fn,
-            cache=self.cache,
-            manifest=self.manifest,
-            retries=self.config.retries,
-            backoff=self.config.backoff,
-        )
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._queue: "deque[_Entry]" = deque()
@@ -263,7 +257,14 @@ class JobBroker:
             if self.cache.directory is not None
             else None
         )
-        self._pool: Optional[WorkerPool] = None
+        #: the execution backend; built in :meth:`start` from
+        #: ``config.executor`` (serial / pool / bus), degraded to
+        #: :class:`SerialExecutor` when a backend cannot be built or
+        #: loses too many workers.
+        self._executor: Optional[Executor] = None
+        #: last-synced cumulative health counters per backend, so the
+        #: registry's monotonic counters only receive deltas.
+        self._executor_seen: Dict[Any, int] = {}
         self._queued_count = 0
         self._running_count = 0
         self._sweep_seq = 0
@@ -333,21 +334,66 @@ class JobBroker:
         self.g_workers_busy = reg.gauge(
             "repro_workers_busy", "Worker processes currently executing."
         )
+        self.g_executor_workers = reg.gauge(
+            "repro_executor_workers",
+            "Live workers, labeled by execution backend.",
+            ["backend"],
+        )
+        self.m_lease_reclaims = reg.counter(
+            "repro_lease_reclaims_total",
+            "Bus jobs reclaimed from expired worker leases.",
+            ["backend"],
+        )
+        self.m_worker_respawns = reg.counter(
+            "repro_worker_respawns_total",
+            "Unplanned worker deaths that forced a respawn.",
+            ["backend"],
+        )
+        self.m_worker_recycles = reg.counter(
+            "repro_worker_recycles_total",
+            "Planned worker rotations (max_jobs_per_worker).",
+            ["backend"],
+        )
 
     # -- lifecycle -------------------------------------------------------------
-    def start(self) -> "JobBroker":
-        """Spawn the shared pool (best effort) and the broker thread."""
-        self._started_at = time.perf_counter()
-        if self.config.workers > 0:
+    def _make_executor(self) -> Executor:
+        """Build the configured backend, degrading to serial on any
+        construction failure (no subprocesses available, no bus
+        directory, an execute function the bus cannot ship by
+        reference) — a service must boot and serve even when its
+        preferred backend cannot."""
+        cfg = self.config
+        kind = cfg.executor
+        if kind == "auto":
+            kind = "serial" if cfg.workers == 0 else "pool"
+        if kind == "pool":
             try:
-                self._pool = WorkerPool(
-                    self.config.workers,
+                return LocalPoolExecutor(
+                    max(1, cfg.workers),
                     self.execute,
-                    timeout=self.config.job_timeout,
+                    timeout=cfg.job_timeout,
                 )
             except Exception as exc:  # noqa: BLE001 — degrade, don't die
                 log.warning("pool_unavailable", error=str(exc))
-                self._pool = None
+        elif kind == "bus":
+            try:
+                from ..orchestrate.bus import BusExecutor
+
+                return BusExecutor(
+                    cfg.bus_dir,
+                    execute=self.execute,
+                    spawn_workers=cfg.workers,
+                    timeout=cfg.job_timeout,
+                    cache_dir=self.cache.directory,
+                )
+            except Exception as exc:  # noqa: BLE001 — degrade, don't die
+                log.warning("bus_unavailable", error=str(exc))
+        return SerialExecutor(self.execute)
+
+    def start(self) -> "JobBroker":
+        """Build the executor (best effort) and spawn the broker thread."""
+        self._started_at = time.perf_counter()
+        self._executor = self._make_executor()
         self.phase_timer.enter(PHASE_ORCHESTRATE)
         self._thread = threading.Thread(
             target=self._loop, name="repro-service-broker", daemon=True
@@ -355,7 +401,8 @@ class JobBroker:
         self._thread.start()
         log.info(
             "broker_started",
-            workers=self._pool.size if self._pool is not None else 0,
+            backend=self._executor.name,
+            workers=self._executor.size,
             cache_dir=str(self.cache.directory),
         )
         return self
@@ -367,9 +414,9 @@ class JobBroker:
         if self._thread is not None:
             self._thread.join(timeout)
             self._thread = None
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
 
     # -- client-facing API (handler threads) -----------------------------------
     def submit(
@@ -669,8 +716,21 @@ class JobBroker:
             }
             digests = list(self.host_digests)
         uptime = time.perf_counter() - self._started_at
-        workers = self._pool.size if self._pool is not None else 0
-        busy = self._pool.busy_count if self._pool is not None else 0
+        executor = self._executor
+        if executor is not None:
+            liveness = executor.liveness()
+            self._sync_executor_metrics(executor)
+        else:
+            liveness = {
+                "backend": "none", "workers": 0, "busy": 0,
+                "respawns": 0, "recycles": 0, "lease_reclaims": 0,
+            }
+        # the top-level ``workers`` count means worker *processes* —
+        # the inline serial backend has none, even though its liveness
+        # section reports one execution lane.
+        inline = executor is None or executor.inline
+        workers = 0 if inline else liveness["workers"]
+        busy = 0 if inline else liveness["busy"]
         # refresh the point-in-time gauges so both views (JSON body,
         # Prometheus exposition) see snapshot-fresh values.
         self.g_queue_depth.set(queue["depth"])
@@ -681,6 +741,7 @@ class JobBroker:
             "schema": METRICS_SCHEMA,
             "uptime_s": uptime,
             "workers": workers,
+            "executor": liveness,
             "queue": queue,
             "jobs": counters,
             "sweeps": {"total": sweeps_total, "active": sweeps_active},
@@ -701,44 +762,65 @@ class JobBroker:
 
     # -- the broker thread -----------------------------------------------------
     def _loop(self) -> None:
+        """One loop for every backend: dispatch while idle capacity
+        exists, poll for terminal events, classify them.  Inline
+        backends execute inside ``poll`` on this thread, so their poll
+        time is charged to ``execute_job`` rather than ``pool_wait``.
+        """
         timer = self.phase_timer
         while not self._stop.is_set():
-            if self._pool is not None:
-                self._dispatch_pool()
-                if self._pool.busy_count == 0:
-                    # Nothing running and nothing dispatchable (empty
-                    # queue or all entries in retry backoff): sleep on
-                    # the condition instead of spinning on poll();
-                    # submit() notifies, so new work wakes us early.
-                    with self._cond:
-                        if not self._stop.is_set():
-                            self._cond.wait(0.05)
-                    continue
-                timer.enter(PHASE_POOL_WAIT)
-                try:
-                    events = self._pool.poll(0.05)
-                finally:
-                    timer.exit()
-                for kind, key, payload in events:
-                    self._finish_pool_job(kind, key, payload)
-                if self._pool.respawns > MAX_RESPAWNS:
-                    log.error(
-                        "pool_degraded", respawns=self._pool.respawns
-                    )
-                    self._pool.close()
-                    self._pool = None
-            else:
-                entry = self._next_inline()
-                if entry is None:
-                    with self._cond:
-                        if not self._stop.is_set():
-                            self._cond.wait(0.05)
-                else:
-                    self._execute_inline(entry)
+            executor = self._executor
+            self._dispatch(executor)
+            if executor.busy_count == 0:
+                # Nothing running and nothing dispatchable (empty
+                # queue or all entries in retry backoff): sleep on
+                # the condition instead of spinning on poll();
+                # submit() notifies, so new work wakes us early.
+                with self._cond:
+                    if not self._stop.is_set():
+                        self._cond.wait(0.05)
+                continue
+            timer.enter(
+                PHASE_EXECUTE_JOB if executor.inline else PHASE_POOL_WAIT
+            )
+            try:
+                events = executor.poll(0.05)
+            finally:
+                timer.exit()
+            for kind, key, payload in events:
+                self._finish_job(kind, key, payload)
+            if events:
+                self._sync_executor_metrics(executor)
+            if not executor.inline and executor.respawns > MAX_RESPAWNS:
+                log.error(
+                    "executor_degraded",
+                    backend=executor.name,
+                    respawns=executor.respawns,
+                )
+                executor.close()
+                self._executor = SerialExecutor(self.execute)
         # exit() pairs the enter(PHASE_ORCHESTRATE) from start(), so the
         # phase report stays internally consistent after a stop().
         if timer.depth:
             timer.exit()
+
+    def _sync_executor_metrics(self, executor: Executor) -> None:
+        """Mirror the backend's cumulative health counters into the
+        labeled registry.  Registry counters only go up, so each sync
+        feeds the delta since the last one (per backend — a degraded
+        swap to serial starts its own series)."""
+        backend = executor.name
+        self.g_executor_workers.set(executor.size, backend=backend)
+        for attr, metric in (
+            ("respawns", self.m_worker_respawns),
+            ("recycles", self.m_worker_recycles),
+            ("lease_reclaims", self.m_lease_reclaims),
+        ):
+            value = getattr(executor, attr)
+            seen = self._executor_seen.get((backend, attr), 0)
+            if value > seen:
+                metric.inc(value - seen, backend=backend)
+                self._executor_seen[(backend, attr)] = value
 
     def _begin_execution(self, entry: _Entry) -> None:
         """Dispatch-time observability (lock held): close the queue
@@ -867,9 +949,8 @@ class JobBroker:
             return entry
         return None
 
-    def _dispatch_pool(self) -> None:
-        pool = self._pool
-        while pool.idle_count:
+    def _dispatch(self, executor: Executor) -> None:
+        while executor.has_idle:
             with self._cond:
                 entry = self._pop_ready()
                 if entry is None:
@@ -888,16 +969,21 @@ class JobBroker:
                         attempt=entry.attempts + 1,
                     )
                 self._cond.notify_all()
-            pool.submit(entry.key, entry.job)
+            executor.submit(
+                entry.key,
+                entry.job,
+                trace_id=entry.trace_id,
+                label=entry.job.label(),
+            )
 
-    def _finish_pool_job(self, kind: str, key: str, payload: Any) -> None:
+    def _finish_job(self, kind: str, key: str, payload: Any) -> None:
         with self._cond:
             entry = self._inflight.get(key)
         if entry is None:  # cancelled racing a crash event; nothing to do
             return
         entry.attempts += 1
-        if kind == "ok":
-            self._complete(entry, payload, store=True)
+        if kind == EVENT_OK:
+            self._complete(entry, payload)
         elif entry.attempts > self.config.retries:
             self._fail(entry, str(payload))
         else:
@@ -938,70 +1024,22 @@ class JobBroker:
                 error=str(payload), trace_id=entry.trace_id,
             )
 
-    def _next_inline(self) -> Optional[_Entry]:
-        with self._cond:
-            entry = self._pop_ready()
-            if entry is None:
-                return None
-            entry.state = JOB_RUNNING
-            self._queued_count -= 1
-            self._running_count += 1
-            self._release_quota(entry)
-            self._begin_execution(entry)
-            for sweep in entry.sweeps:
-                sweep.statuses[entry.key] = JOB_RUNNING
-                self._event(sweep, "job_started", key=entry.key, attempt=1)
-            self._cond.notify_all()
-            return entry
-
-    def _execute_inline(self, entry: _Entry) -> None:
-        """Serial fallback: run one job through the shared Orchestrator.
-
-        The orchestrator brings the CLI path's exact retry/backoff,
-        manifest and cache-store semantics (including atomic writes),
-        so inline service results are byte-identical to CLI ones.
-        """
-        timer = self.phase_timer
-        timer.enter(PHASE_EXECUTE_JOB)
-        if entry.trace_id is not None:
-            # the orchestrator journals manifest lines and failure
-            # diagnostics; registering the trace makes them joinable.
-            self.orchestrator.trace_ids[entry.key] = entry.trace_id
-        try:
-            results = self.orchestrator.run(
-                [entry.job], raise_on_failure=False
+    def _complete(self, entry: _Entry, summary: RunSummary) -> None:
+        # Single-writer discipline as in the CLI orchestrator: only
+        # the broker thread stores, so entries are byte-identical to
+        # serial/CLI ones (and writes are atomic).  Bus workers may
+        # have published the same key already — same bytes, so the
+        # second store is an idempotent overwrite, never a conflict.
+        self.cache.store(entry.key, summary)
+        if self.manifest is not None:
+            self.manifest.record(
+                entry.key,
+                "done",
+                attempts=entry.attempts,
+                label=entry.job.label(),
+                host=compact_host(summary.host),
+                trace_id=entry.trace_id,
             )
-        finally:
-            timer.exit()
-            self.orchestrator.trace_ids.pop(entry.key, None)
-        if entry.key in results:
-            entry.attempts = 1
-            self._complete(entry, results[entry.key], store=False)
-        else:
-            # The orchestrator exhausted its full retry budget inline.
-            entry.attempts = self.config.retries + 1
-            self._fail(
-                entry,
-                self.orchestrator.failures.get(entry.key, "job failed"),
-            )
-
-    def _complete(
-        self, entry: _Entry, summary: RunSummary, store: bool
-    ) -> None:
-        if store:
-            # Single-writer discipline as in the CLI orchestrator: only
-            # the broker thread stores, so entries are byte-identical
-            # to serial/CLI ones (and writes are atomic).
-            self.cache.store(entry.key, summary)
-            if self.manifest is not None:
-                self.manifest.record(
-                    entry.key,
-                    "done",
-                    attempts=entry.attempts,
-                    label=entry.job.label(),
-                    host=compact_host(summary.host),
-                    trace_id=entry.trace_id,
-                )
         self._end_exec_span(entry, "done", summary.host)
         self.m_exec.observe(
             max(0.0, time.perf_counter() - entry.dispatched),

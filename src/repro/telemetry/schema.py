@@ -131,6 +131,7 @@ SERVICE_METRICS_SCHEMA: Dict = {
         "schema",
         "uptime_s",
         "workers",
+        "executor",
         "queue",
         "jobs",
         "sweeps",
@@ -144,6 +145,28 @@ SERVICE_METRICS_SCHEMA: Dict = {
         "schema": {"type": "integer", "minimum": 1},
         "uptime_s": {"type": "number", "minimum": 0},
         "workers": {"type": "integer", "minimum": 0},
+        #: backend liveness (schema v3): the executor's own view of its
+        #: capacity and health; bus backends add live_workers and
+        #: spool_depth on top of the required core.
+        "executor": {
+            "type": "object",
+            "required": [
+                "backend",
+                "workers",
+                "busy",
+                "respawns",
+                "recycles",
+                "lease_reclaims",
+            ],
+            "properties": {
+                "backend": {"type": "string"},
+                "workers": {"type": "integer", "minimum": 0},
+                "busy": {"type": "integer", "minimum": 0},
+                "respawns": {"type": "integer", "minimum": 0},
+                "recycles": {"type": "integer", "minimum": 0},
+                "lease_reclaims": {"type": "integer", "minimum": 0},
+            },
+        },
         "queue": {
             "type": "object",
             "required": ["depth", "running", "limit"],
@@ -319,6 +342,29 @@ EVAL_REPORT_SCHEMA: Dict = {
 }
 
 
+#: one line of a :class:`repro.orchestrate.SweepManifest` journal —
+#: both the per-sweep outcome manifest and the bus journal (which adds
+#: ``claimed``/``reclaimed`` lease records with a ``worker`` id).
+SWEEP_MANIFEST_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["key", "status"],
+    "properties": {
+        "key": {"type": "string"},
+        "status": {
+            "type": "string",
+            "enum": ["done", "failed", "cancelled", "claimed", "reclaimed"],
+        },
+        "attempts": {"type": "integer", "minimum": 0},
+        "error": {"type": "string"},
+        "label": {"type": "string"},
+        "category": {"type": "string"},
+        "host": {"type": "object"},
+        "trace_id": {"type": "string"},
+        "worker": {"type": "string"},
+    },
+}
+
+
 def check(value, schema: Dict, path: str = "$") -> List[str]:
     """Validate ``value`` against a schema; returns error strings."""
     errors: List[str] = []
@@ -431,6 +477,31 @@ def validate_service_metrics(path: Union[str, Path]) -> List[str]:
     except ValueError as exc:
         return [f"invalid JSON: {exc}"]
     return check(data, SERVICE_METRICS_SCHEMA)
+
+
+def validate_sweep_manifest(path: Union[str, Path]) -> List[str]:
+    """Validate every line of a sweep manifest / bus journal.
+
+    A trailing partial line (torn by a crash mid-append) is the
+    journal's documented failure mode and is tolerated, matching
+    :meth:`SweepManifest.statuses`; a malformed line anywhere *else*
+    is corruption and is reported.
+    """
+    errors: List[str] = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            if number == len(lines):
+                continue  # torn tail from a crash mid-append
+            errors.append(f"line {number}: invalid JSON ({exc})")
+            continue
+        errors.extend(check(record, SWEEP_MANIFEST_SCHEMA, f"line {number}"))
+    return errors
 
 
 def validate_eval_report(path: Union[str, Path]) -> List[str]:

@@ -1,0 +1,1 @@
+"""PX4 fixture: in-place writes to files other processes read."""

@@ -1,0 +1,16 @@
+"""Publishes spool records with torn-file windows.
+
+Both writers below publish content in place: a worker in another
+process (or a crash mid-write) can observe a partially written file.
+"""
+
+import json
+
+
+def publish_job(root, key, payload):
+    with open(root + "/jobs/" + key + ".json", "w") as handle:
+        handle.write(json.dumps(payload))
+
+
+def publish_result(root, key, body):
+    (root / "results" / key).write_bytes(body)
