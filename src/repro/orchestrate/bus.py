@@ -23,11 +23,30 @@ worker mid-job therefore loses nothing and duplicates nothing: its
 lease goes stale, exactly one reclaim happens (the lease file is the
 mutual exclusion), and the retry is a fresh attempt.
 
+``lease_timeout`` must exceed the shared filesystem's mtime
+propagation window — on NFS, the attribute-cache lifetime
+(``actimeo``, commonly 3-60 seconds) — or the parent will reclaim
+leases of perfectly healthy workers whose heartbeats it simply has
+not seen yet.  The default is sized for that (see
+:data:`DEFAULT_LEASE_TIMEOUT`); only lower it on a local-filesystem
+bus, as the crash-safety tests do.
+
 Publication ordering makes completion unambiguous: a worker writes
 the result (atomic replace), *then* removes the envelope, *then*
 frees the lease.  The parent always checks for a result before
 reclaiming, so a worker that died after publishing is indistinguishable
-from one that finished cleanly.
+from one that finished cleanly.  Both withdrawals are guarded: the
+worker re-reads the envelope and the lease first, and deletes each
+only if it still belongs to *this* attempt — after a reclaim, the
+re-spooled envelope and any successor's lease are someone else's
+records and survive the superseded attempt's cleanup.
+
+Journals are single-writer by construction: each worker appends
+claim records to its own ``journal.<worker_id>.jsonl`` and the parent
+appends reclaims to ``journal.jsonl``, because append atomicity — the
+property that keeps concurrent JSONL writers from interleaving — does
+not hold on NFS.  Readers merge the ``journal*.jsonl`` family (see
+:meth:`FileBus.journal_paths`).
 """
 
 from __future__ import annotations
@@ -45,7 +64,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..errors import OrchestrationError
+from ..errors import ExecutorConfigError, OrchestrationError
 from ..telemetry import get_logger
 from .executor import Executor, ExecutorEvent
 from .job import execute_job
@@ -60,12 +79,18 @@ ENVELOPE_SCHEMA = 1
 #: the default job executor shipped in envelopes.
 DEFAULT_EXECUTE_REF = "repro.orchestrate.job:execute_job"
 
-#: a lease whose mtime has not moved for this long (observer clock) is
-#: considered abandoned and is reclaimed.
-DEFAULT_LEASE_TIMEOUT = 5.0
-
 #: worker heartbeat period; must be well under any lease timeout.
 DEFAULT_HEARTBEAT = 0.25
+
+#: a lease whose mtime has not moved for this long (observer clock) is
+#: considered abandoned and is reclaimed.  Deliberately generous — two
+#: orders of magnitude over the heartbeat period — because a reclaim
+#: that fires on a *healthy* worker re-executes its job: on network
+#: filesystems the parent may not see heartbeat mtime changes for the
+#: length of the mount's attribute-cache window (NFS ``actimeo``
+#: defaults range from 3 to 60 seconds), so ``lease_timeout`` must
+#: comfortably exceed that window, never approach the heartbeat.
+DEFAULT_LEASE_TIMEOUT = 120 * DEFAULT_HEARTBEAT
 
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
@@ -107,7 +132,7 @@ def execute_ref_of(execute: Callable[[Any], Any]) -> str:
         execute, "__name__", None
     )
     if not module or not name or "<locals>" in name or "." in name:
-        raise OrchestrationError(
+        raise ExecutorConfigError(
             "the bus executor ships its execute callable by reference; "
             f"{execute!r} must be a module-level function"
         )
@@ -164,6 +189,17 @@ class FileBus:
     def worker_path(self, worker_id: str) -> Path:
         return self.workers / f"{worker_id}.json"
 
+    def worker_journal(self, worker_id: str) -> Path:
+        """A worker's private claim journal — one writer per file, so
+        the bus never depends on cross-host append atomicity."""
+        return self.root / f"journal.{worker_id}.jsonl"
+
+    def journal_paths(self) -> List[Path]:
+        """Every journal file on the bus: the parent's ``journal.jsonl``
+        plus one ``journal.<worker_id>.jsonl`` per worker that ever
+        claimed a job.  Audit readers merge the family."""
+        return sorted(self.root.glob("journal*.jsonl"))
+
 
 class _Freshness:
     """Observer-relative staleness for heartbeat files.
@@ -210,9 +246,9 @@ class BusExecutor(Executor):
         cache_dir: Optional[str] = None,
     ) -> None:
         if lease_timeout <= 0:
-            raise OrchestrationError("lease_timeout must be > 0")
+            raise ExecutorConfigError("lease_timeout must be > 0")
         if max_jobs_per_worker is not None and max_jobs_per_worker < 1:
-            raise OrchestrationError("max_jobs_per_worker must be >= 1")
+            raise ExecutorConfigError("max_jobs_per_worker must be >= 1")
         self.bus = FileBus(bus_dir)
         self.bus.ensure()
         self._execute_ref = execute_ref_of(execute)
@@ -517,7 +553,9 @@ class BusWorker:
         self.heartbeat = heartbeat
         self.poll_interval = poll_interval
         self.jobs_done = 0
-        self._journal = SweepManifest(self.bus.journal, fsync=True)
+        self._journal = SweepManifest(
+            self.bus.worker_journal(self.worker_id), fsync=True
+        )
         self._stop = threading.Event()
         self._lease_lock = threading.Lock()
         self._current_lease: Optional[Path] = None
@@ -662,10 +700,43 @@ class BusWorker:
         # Publication order: result visible -> envelope withdrawn ->
         # lease freed.  An observer can then never see "no result, no
         # envelope, no lease" for a job that actually completed.
-        _unlink_quietly(self.bus.job_path(key))
+        #
+        # Both withdrawals are guarded against reclaim: if the parent
+        # judged this lease stale (suspended process, NFS mtime lag)
+        # and re-spooled the job, the envelope on the bus now carries
+        # attempt N+1 and the lease may belong to a successor worker —
+        # deleting either would strand the new attempt (an envelope
+        # nobody can claim, or a duplicate-claim window), so a
+        # superseded attempt must only remove records it still owns.
+        if self._spooled_attempt(key) == attempt:
+            _unlink_quietly(self.bus.job_path(key))
         with self._lease_lock:
             self._current_lease = None
-        _unlink_quietly(lease)
+        if self._owns_lease(lease):
+            _unlink_quietly(lease)
+
+    def _spooled_attempt(self, key: str) -> Optional[int]:
+        """The attempt number of the envelope currently spooled for
+        ``key``; None if there is none (or it is unreadable)."""
+        try:
+            envelope = json.loads(
+                self.bus.job_path(key).read_text("utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        try:
+            return int(envelope.get("attempt", 1))
+        except (TypeError, ValueError):
+            return None
+
+    def _owns_lease(self, lease: Path) -> bool:
+        try:
+            data = json.loads(lease.read_text("utf-8"))
+        except (OSError, ValueError):
+            return False
+        return isinstance(data, dict) and data.get("worker") == self.worker_id
 
     def _publish_cache(
         self, envelope: Dict[str, Any], key: str, job: Any, summary: Any

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..errors import OrchestrationError
+from ..errors import ExecutorConfigError, OrchestrationError
 from .pool import EVENT_ERROR, EVENT_OK, WorkerPool
 
 #: one terminal event: (kind, job key, RunSummary or error message).
@@ -263,6 +263,11 @@ def resolve_executor(
     processes (default ``jobs``; 0 relies on externally started
     workers).  An :class:`Executor` instance is returned as-is, so
     tests and services can inject pre-built backends.
+
+    Misconfiguration — an unknown kind, ``"bus"`` without a directory
+    — raises :class:`~repro.errors.ExecutorConfigError`; callers must
+    surface it, not degrade, so a typo cannot silently turn a
+    distributed sweep into a serial one.
     """
     if isinstance(spec, Executor):
         return spec
@@ -281,7 +286,7 @@ def resolve_executor(
         )
     if spec == "bus":
         if not bus_dir:
-            raise OrchestrationError(
+            raise ExecutorConfigError(
                 "the bus executor needs a bus directory "
                 "(--bus-dir / REPRO_BUS_DIR)"
             )
@@ -299,7 +304,7 @@ def resolve_executor(
             cache_dir=cache_dir,
             **kwargs,
         )
-    raise OrchestrationError(
+    raise ExecutorConfigError(
         f"unknown executor {spec!r}; expected one of {EXECUTOR_KINDS}"
     )
 

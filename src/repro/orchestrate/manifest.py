@@ -72,7 +72,13 @@ class ManifestRecord:
 
 
 class SweepManifest:
-    """Append-only JSONL journal of per-job outcomes for one cache dir."""
+    """Append-only JSONL journal of per-job outcomes for one cache dir.
+
+    One journal file, one writing process: crash-tolerance relies on
+    O_APPEND single-write atomicity, which shared filesystems (NFS) do
+    not guarantee across hosts — which is why the bus gives every
+    worker its own journal file instead of sharing this one.
+    """
 
     def __init__(self, path: Union[str, Path], fsync: Optional[bool] = None) -> None:
         self.path = Path(path)
@@ -125,9 +131,15 @@ class SweepManifest:
         data = json.dumps(entry, sort_keys=True) + "\n"
         if needs_newline:
             data = "\n" + data
-        # One O_APPEND write: POSIX appends are atomic for writes this
-        # small, so concurrent bus workers journalling into the same
-        # file cannot interleave bytes mid-record.
+        # One O_APPEND write.  POSIX append atomicity holds for writes
+        # this small on local filesystems but NOT on NFS, so every
+        # journal file has exactly one writing process: the
+        # orchestrator/broker owns the sweep manifest, the bus parent
+        # owns journal.jsonl, and each bus worker appends claims to
+        # its own journal.<worker_id>.jsonl (merged on read via
+        # FileBus.journal_paths).  The single write still matters —
+        # it keeps a same-process signal arriving mid-append from
+        # tearing a record.
         fd = os.open(
             str(self.path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
         )

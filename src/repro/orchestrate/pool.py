@@ -20,7 +20,7 @@ import time
 from multiprocessing import connection
 from typing import Any, Callable, List, Optional, Tuple
 
-from ..errors import OrchestrationError
+from ..errors import ExecutorConfigError, OrchestrationError
 
 #: event kinds produced by :meth:`WorkerPool.poll`.
 EVENT_OK = "ok"
@@ -96,9 +96,9 @@ class WorkerPool:
         max_jobs_per_worker: Optional[int] = None,
     ) -> None:
         if num_workers <= 0:
-            raise OrchestrationError("worker pool needs at least one worker")
+            raise ExecutorConfigError("worker pool needs at least one worker")
         if max_jobs_per_worker is not None and max_jobs_per_worker < 1:
-            raise OrchestrationError("max_jobs_per_worker must be >= 1")
+            raise ExecutorConfigError("max_jobs_per_worker must be >= 1")
         self._execute = execute
         self._timeout = timeout
         self._max_jobs = max_jobs_per_worker

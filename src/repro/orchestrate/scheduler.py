@@ -13,9 +13,14 @@ bounded number of attempts.  Jobs that keep failing are journalled to
 the :class:`~repro.orchestrate.manifest.SweepManifest` and reported in
 one :class:`~repro.errors.OrchestrationError` at the end (completed
 work stays cached, so a re-run only re-executes the failures).  If a
-multi-process backend cannot be built or keeps losing workers, the
-sweep degrades to serial execution instead of aborting — slower,
-never wrong.
+multi-process backend cannot be built *by the environment* (no
+subprocesses on this box, unreachable bus) or keeps losing workers,
+the sweep degrades to serial execution — with a prominent warning —
+instead of aborting: slower, never wrong.  A *misconfigured* backend
+(unknown executor kind, bus with no directory) raises
+:class:`~repro.errors.ExecutorConfigError` instead of degrading, so a
+typo cannot silently serialize a sweep the user believes is
+distributed.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from collections import deque
 
-from ..errors import OrchestrationError
+from ..errors import ExecutorConfigError, OrchestrationError
 from ..perf.phase import (
     PHASE_EXECUTE_JOB,
     PHASE_ORCHESTRATE,
@@ -187,9 +192,23 @@ class Orchestrator:
             if pending:
                 try:
                     executor = self._make_executor()
-                except OrchestrationError:
-                    # The backend could not be built (no subprocesses
-                    # on this box, unreachable bus); degrade to serial.
+                except ExecutorConfigError:
+                    # A misconfigured backend (unknown kind, bus with
+                    # no directory) must fail loudly — degrading would
+                    # run a sweep the user believes is distributed
+                    # single-threaded, with no sign anything is off.
+                    raise
+                except OrchestrationError as exc:
+                    # The *environment* could not build the backend
+                    # (no subprocesses on this box, unreachable bus);
+                    # degrade to serial — slower, never wrong — and
+                    # say so prominently.
+                    log.warning(
+                        "executor_degraded",
+                        requested=self._requested_backend(),
+                        actual="serial",
+                        error=str(exc),
+                    )
                     executor = SerialExecutor(self.execute)
                 if isinstance(executor, SerialExecutor):
                     self._run_loop(pending, results, executor)
@@ -258,6 +277,14 @@ class Orchestrator:
         return True
 
     # -- execution -------------------------------------------------------------
+    def _requested_backend(self) -> str:
+        """The backend name this run was configured for (log context)."""
+        if isinstance(self.executor, Executor):
+            return self.executor.name
+        if isinstance(self.executor, str):
+            return self.executor
+        return "serial" if self.jobs <= 1 else "pool"
+
     def _make_executor(self) -> Executor:
         """Build the configured backend for this run.
 

@@ -799,10 +799,64 @@ class JobBroker:
                 )
                 executor.close()
                 self._executor = SerialExecutor(self.execute)
+                self._requeue_undecided()
         # exit() pairs the enter(PHASE_ORCHESTRATE) from start(), so the
         # phase report stays internally consistent after a stop().
         if timer.depth:
             timer.exit()
+
+    def _requeue_undecided(self) -> None:
+        """Push every entry dispatched to a torn-down backend back onto
+        the queue (broker thread, after a degrade swap).
+
+        The old backend's terminal events will never be polled again,
+        so without this its ``JOB_RUNNING`` entries would sit in
+        ``_inflight`` forever — their sweeps reporting ``running``
+        indefinitely, ``_running_count`` leaking, and later
+        submissions of the same key coalescing onto a dead entry.
+        Mirrors the CLI orchestrator's serial pass over the undecided
+        remainder: attempts are not charged (the backend failed, not
+        the job) and quota is re-charged exactly as the retry path
+        does.
+        """
+        with self._cond:
+            stranded = [
+                entry
+                for entry in self._inflight.values()
+                if entry.state == JOB_RUNNING
+            ]
+        # Only the broker thread moves entries out of JOB_RUNNING, so
+        # the list stays accurate between these two critical sections;
+        # spans are closed outside the lock like the retry path does.
+        for entry in stranded:
+            self._end_exec_span(entry, "requeued", None)
+        if not stranded:
+            return
+        with self._cond:
+            for entry in stranded:
+                entry.state = JOB_QUEUED
+                entry.enqueued = self.spans.now()
+                entry.ready_at = 0.0
+                self._running_count -= 1
+                self._queued_count += 1
+                self._tenant_jobs[entry.tenant] = (
+                    self._tenant_jobs.get(entry.tenant, 0) + 1
+                )
+                self._tenant_instr[entry.tenant] = (
+                    self._tenant_instr.get(entry.tenant, 0)
+                    + entry.instructions
+                )
+                self._queue.append(entry)
+                for sweep in entry.sweeps:
+                    sweep.statuses[entry.key] = JOB_QUEUED
+                    self._event(
+                        sweep,
+                        "job_requeued",
+                        key=entry.key,
+                        reason="executor degraded to serial",
+                    )
+            self._cond.notify_all()
+        log.warning("jobs_requeued_after_degrade", count=len(stranded))
 
     def _sync_executor_metrics(self, executor: Executor) -> None:
         """Mirror the backend's cumulative health counters into the

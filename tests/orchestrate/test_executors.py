@@ -15,15 +15,17 @@ come from :mod:`tests.orchestrate.test_failures`; their executor is a
 module-level function, so bus workers can import it by reference.
 """
 
+import base64
 import json
 import os
+import pickle
 import signal
 import threading
 import time
 
 import pytest
 
-from repro.errors import OrchestrationError
+from repro.errors import ExecutorConfigError, OrchestrationError
 from repro.orchestrate import (
     BusExecutor,
     Orchestrator,
@@ -31,7 +33,12 @@ from repro.orchestrate import (
     SimJob,
     SweepManifest,
 )
-from repro.orchestrate.bus import execute_ref_of, resolve_execute_ref
+from repro.orchestrate.bus import (
+    BusWorker,
+    FileBus,
+    execute_ref_of,
+    resolve_execute_ref,
+)
 from repro.orchestrate.executor import (
     LocalPoolExecutor,
     SerialExecutor,
@@ -318,11 +325,13 @@ class TestBusCrashSafety:
         # ... and no other job was duplicated or dropped.
         for job in okays:
             assert attempt_count(tmp_path, job) == 1
+        # Journals are single-writer files: the parent's journal.jsonl
+        # holds the reclaim, each worker's journal.<id>.jsonl holds its
+        # claims; audits merge the family.
         records = [
             json.loads(line)
-            for line in (bus_dir / "journal.jsonl")
-            .read_text("utf-8")
-            .splitlines()
+            for path in executor.bus.journal_paths()
+            for line in path.read_text("utf-8").splitlines()
             if line.strip()
         ]
         assert any(
@@ -330,6 +339,15 @@ class TestBusCrashSafety:
             and record["key"] == _slug(hang)
             for record in records
         )
+        parent_records = [
+            json.loads(line)
+            for line in (bus_dir / "journal.jsonl")
+            .read_text("utf-8")
+            .splitlines()
+            if line.strip()
+        ]
+        assert all(r["status"] == STATUS_RECLAIMED for r in parent_records)
+        assert any(record["status"] == "claimed" for record in records)
 
     def test_vanished_worker_lease_is_reclaimed(self, tmp_path):
         """A lease whose owner never heartbeats goes stale and is
@@ -351,6 +369,61 @@ class TestBusCrashSafety:
         assert executor.lease_reclaims == 1
         assert executor.busy_count == 0
         executor.close()
+
+    @staticmethod
+    def _envelope(job, attempt):
+        return {
+            "schema": 1,
+            "key": _slug(job),
+            "attempt": attempt,
+            "execute": execute_ref_of(scripted_execute),
+            "cache_dir": None,
+            "label": None,
+            "trace_id": None,
+            "job": base64.b64encode(pickle.dumps(job)).decode("ascii"),
+        }
+
+    def test_superseded_attempt_preserves_successor_records(self, tmp_path):
+        """A worker whose lease was reclaimed mid-execution (stalled
+        heartbeat, mtime lag) must not delete the re-spooled attempt's
+        envelope or the successor worker's lease when it finishes —
+        otherwise the new attempt is unclaimable and the sweep hangs."""
+        bus = FileBus(tmp_path / "bus")
+        bus.ensure()
+        worker = BusWorker(bus.root, worker_id="zombie")
+        job = f"ok:{tmp_path}:laggard"
+        key = _slug(job)
+        stale = self._envelope(job, attempt=1)
+        # Meanwhile the parent reclaimed the lease, re-spooled the job
+        # as attempt 2, and a successor worker claimed it:
+        bus.job_path(key).write_text(json.dumps(self._envelope(job, 2)))
+        lease = bus.lease_path(key)
+        lease.write_text(json.dumps({"worker": "successor", "pid": 1}))
+        worker._execute_one(key, stale, lease)
+        # the stale attempt published its (ignored) result ...
+        assert bus.result_path(key, 1).exists()
+        # ... but the successor's envelope and lease survived.
+        assert json.loads(bus.job_path(key).read_text())["attempt"] == 2
+        assert json.loads(lease.read_text())["worker"] == "successor"
+        # claims went to the worker's own single-writer journal file.
+        assert bus.worker_journal("zombie").exists()
+
+    def test_clean_completion_withdraws_own_records(self, tmp_path):
+        """The guard must not stop normal cleanup: a worker that still
+        owns its lease and envelope withdraws both."""
+        bus = FileBus(tmp_path / "bus")
+        bus.ensure()
+        worker = BusWorker(bus.root, worker_id="w1")
+        job = f"ok:{tmp_path}:clean"
+        key = _slug(job)
+        envelope = self._envelope(job, attempt=1)
+        bus.job_path(key).write_text(json.dumps(envelope))
+        lease = bus.lease_path(key)
+        lease.write_text(json.dumps({"worker": "w1", "pid": os.getpid()}))
+        worker._execute_one(key, envelope, lease)
+        assert bus.result_path(key, 1).exists()
+        assert not bus.job_path(key).exists()
+        assert not lease.exists()
 
 
 class TestExecuteRef:
@@ -382,12 +455,26 @@ class TestResolveExecutor:
         assert resolve_executor(prebuilt, 8, scripted_execute) is prebuilt
 
     def test_bus_requires_directory(self):
-        with pytest.raises(OrchestrationError, match="bus"):
+        # a *config* error — callers must raise it, never degrade.
+        with pytest.raises(ExecutorConfigError, match="bus"):
             resolve_executor("bus", 2, scripted_execute)
 
     def test_unknown_kind_rejected(self):
-        with pytest.raises(OrchestrationError, match="unknown executor"):
+        with pytest.raises(ExecutorConfigError, match="unknown executor"):
             resolve_executor("quantum", 2, scripted_execute)
+
+    def test_misconfiguration_fails_sweep_loudly(self, tmp_path):
+        """An orchestrator built on a misconfigured backend raises at
+        run() instead of silently executing the sweep serially."""
+        for kwargs in (
+            dict(executor="bus"),  # no bus_dir
+            dict(executor="quantum"),
+        ):
+            orchestrator = Orchestrator(
+                jobs=2, execute=scripted_execute, key_fn=_slug, **kwargs
+            )
+            with pytest.raises(ExecutorConfigError):
+                orchestrator.run([f"ok:{tmp_path}:cfg"])
 
 
 class TestManifestFsync:

@@ -301,6 +301,68 @@ class TestObservability:
             broker.stop()
 
 
+class TestDegradeRequeue:
+    def test_inflight_jobs_requeued_when_backend_degrades(self, tmp_path):
+        """When respawns exceed the budget the broker swaps to serial;
+        entries already dispatched to the dead backend must be drained
+        back onto the queue — not left in JOB_RUNNING forever with
+        their sweeps stuck and the running count leaked."""
+        from repro.orchestrate.executor import Executor
+        from repro.orchestrate.scheduler import MAX_RESPAWNS
+
+        class DyingExecutor(Executor):
+            """Accepts jobs, never reports them, always looks doomed."""
+
+            name = "dying"
+
+            def __init__(self):
+                self.submitted = []
+
+            def submit(self, key, job, trace_id=None, label=None):
+                self.submitted.append(key)
+
+            def poll(self, wait=0.05):
+                time.sleep(0.01)
+                return []
+
+            @property
+            def size(self):
+                return 2
+
+            @property
+            def busy_count(self):
+                return len(self.submitted)
+
+            @property
+            def respawns(self):
+                return MAX_RESPAWNS + 1
+
+        dying = DyingExecutor()
+        broker = make_broker(tmp_path, start=False)
+        broker._make_executor = lambda: dying
+        broker.start()
+        try:
+            sweep = broker.submit([make_job(), make_job(tla="qbs")])
+            wait_terminal(broker, sweep, timeout=30.0)
+            assert sweep.state == "done"
+            assert dying.submitted  # the doomed backend really held them
+            metrics = broker.metrics_snapshot()
+            assert metrics["executor"]["backend"] == "serial"
+            assert metrics["queue"]["running"] == 0
+            assert metrics["queue"]["depth"] == 0
+            # requeue re-charged quota, execution released it again.
+            for counts in metrics["tenants"].values():
+                assert counts["queued_jobs"] == 0
+                assert counts["queued_instructions"] == 0
+            # a later submission of the same key is served, not
+            # coalesced onto a dead entry.
+            again = broker.submit([make_job()])
+            wait_terminal(broker, again, timeout=10.0)
+            assert again.state == "done"
+        finally:
+            broker.stop()
+
+
 class TestBusBackend:
     def test_sweep_through_bus_worker_serves_results(self, tmp_path):
         """The HTTP tier scales out transparently: a bus-backed broker
